@@ -1,0 +1,58 @@
+"""Figure 1 — the function lifecycle and where its cost goes.
+
+Paper claim: steps (1)–(7), (9), (10) are pure overhead; only step (8)
+is billable.  XFaaS eliminates (1)–(5) and (9)–(10) for all functions
+and (6)–(7) for regularly invoked ones (§1.2), while a conventional
+platform pays seconds of startup plus ≥10 minutes of idle keep-alive
+(Wang et al.).
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.baselines import BASELINE_STEPS, baseline_model, xfaas_model
+from repro.metrics import format_table
+
+EXECUTE_S = 1.0
+
+
+def build_rows():
+    base = baseline_model().breakdown(EXECUTE_S, cold=True)
+    xf_regular = xfaas_model(regularly_invoked=True).breakdown(
+        EXECUTE_S, cold=True)
+    xf_first = xfaas_model(regularly_invoked=False).breakdown(
+        EXECUTE_S, cold=True)
+    rows = [
+        ["conventional (cold)", base.startup_overhead_s,
+         base.idle_overhead_s + base.shutdown_s,
+         100.0 * base.billable_fraction],
+        ["XFaaS, regularly invoked", xf_regular.startup_overhead_s,
+         xf_regular.idle_overhead_s + xf_regular.shutdown_s,
+         100.0 * xf_regular.billable_fraction],
+        ["XFaaS, first sighting", xf_first.startup_overhead_s,
+         xf_first.idle_overhead_s + xf_first.shutdown_s,
+         100.0 * xf_first.billable_fraction],
+    ]
+    return rows, base, xf_regular
+
+
+def test_fig01_lifecycle(benchmark):
+    rows, base, xf = benchmark(build_rows)
+    steps = format_table(
+        ["step", "name", "baseline cost (s)"],
+        [[n, name, cost] for n, name, cost in BASELINE_STEPS],
+        title="Figure 1 lifecycle steps (step 8 = execute, billable)")
+    table = format_table(
+        ["platform", "startup overhead (s)", "idle+shutdown (s)",
+         "billable %"],
+        rows, title=f"Per-call breakdown at execute={EXECUTE_S}s")
+    write_result("fig01_lifecycle", steps + "\n\n" + table)
+
+    # Paper shape: XFaaS eliminates steps (1)-(5), (9), (10) entirely.
+    assert xf.idle_overhead_s == 0.0
+    assert xf.shutdown_s == 0.0
+    # Startup overhead drops by >30x for regularly invoked functions.
+    assert base.startup_overhead_s / xf.startup_overhead_s > 30
+    # Billable fraction: <1% on the baseline, >90% on XFaaS.
+    assert base.billable_fraction < 0.01
+    assert xf.billable_fraction > 0.9

@@ -1,0 +1,37 @@
+"""Figure 3 — daily invocation growth: 50× over five years.
+
+Paper claim: FaaS volume in the private cloud grew ~50× in five years,
+with a sharp inflection at the end of 2022 when the Kafka-like
+data-stream trigger launched.
+"""
+
+from conftest import write_result
+from repro.metrics import sparkline
+from repro.workloads import figure3_model
+
+
+def build_series():
+    model = figure3_model()
+    series = model.series(days=5 * 365, step_days=30)
+    return model, series
+
+
+def test_fig03_growth(benchmark):
+    model, series = benchmark(build_series)
+    values = [v for _, v in series]
+    lines = [
+        "Figure 3 — normalized daily invocations over 5 years",
+        "  " + sparkline(values),
+        f"  growth factor over 5 years: {model.growth_factor(1825):.1f}x "
+        f"(paper: ~50x)",
+    ]
+    # Inflection: growth in the launch year vs the year before.
+    year4 = model.daily_calls(4 * 365) / model.daily_calls(3 * 365)
+    year5 = model.daily_calls(5 * 365) / model.daily_calls(4 * 365)
+    lines.append(f"  year-4 growth {year4:.2f}x, year-5 growth {year5:.2f}x "
+                 f"(stream-trigger launch inflection)")
+    write_result("fig03_growth", "\n".join(lines))
+
+    assert 40 <= model.growth_factor(1825) <= 60
+    assert year5 > year4 * 1.3
+    assert all(b >= a for a, b in zip(values, values[1:]))

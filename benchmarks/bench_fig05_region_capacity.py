@@ -1,0 +1,33 @@
+"""Figure 5 — uneven worker-pool capacity across regions.
+
+Paper claim: due to incremental hardware acquisition, XFaaS's capacity
+varies wildly across regions (roughly a 10× spread in the figure),
+which is why cross-region dispatch matters.
+"""
+
+from conftest import write_result
+from repro.cluster import build_topology
+from repro.metrics import format_table
+
+
+def build_capacity():
+    topology = build_topology(n_regions=12, workers_per_unit=100)
+    counts = [(r.name, r.workers_for("default")) for r in topology.regions]
+    return topology, counts
+
+
+def test_fig05_region_capacity(benchmark):
+    topology, counts = benchmark(build_capacity)
+    rows = [[name, n, "#" * max(1, n // 4)] for name, n in counts]
+    table = format_table(["region", "workers", "capacity"], rows,
+                         title="Figure 5 — worker pool capacity by region")
+    write_result("fig05_region_capacity", table)
+
+    sizes = [n for _, n in counts]
+    # Shape: monotone-decreasing profile with ~10x spread, every region
+    # non-empty.
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[0] / sizes[-1] >= 8
+    assert min(sizes) >= 1
+    # Capacity shares sum to 1 (used by client-region weighting).
+    assert abs(sum(topology.capacity_share("default").values()) - 1.0) < 1e-9

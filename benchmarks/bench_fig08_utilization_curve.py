@@ -1,0 +1,35 @@
+"""Figure 8 — worker CPU utilization over the day.
+
+Paper claim: the utilization curve's peak-to-trough ratio is only 1.4×,
+versus 4.3× for received calls — the deferral machinery converts a
+spiky arrival process into near-flat hardware usage.
+"""
+
+import statistics
+
+from conftest import write_result
+from repro.analysis import fleet_utilization_series, peak_to_trough
+from repro.metrics import series_block
+
+DAY_S = 86_400.0
+
+
+def test_fig08_utilization_curve(dayrun, benchmark):
+    series = benchmark(lambda: fleet_utilization_series(
+        dayrun.platform, 3600.0, DAY_S, step=600.0))
+    values = [v for _, v in series]
+    p2t = peak_to_trough(values, trim_fraction=0.02)
+    out = "\n".join([
+        series_block("fleet CPU utilization (10-minute samples)", values),
+        "",
+        f"utilization peak-to-trough: {p2t:.2f}x "
+        f"(paper: 1.4x, vs 4.3x received)",
+        f"mean: {statistics.mean(values):.3f}",
+    ])
+    write_result("fig08_utilization_curve", out)
+
+    # The defining shape claim: utilization is far flatter than the
+    # 4.3x received curve.  The paper reports 1.4x; we accept < 2.5x
+    # at simulation scale (integer-granular regional capacity).
+    assert p2t < 2.5
+    assert statistics.mean(values) > 0.4

@@ -1,0 +1,41 @@
+"""Figure 9 — distinct functions executed per worker per hour.
+
+Paper claim: although there are tens of thousands of functions, each
+worker executes only ~61 (P50) to ~113 (P95) distinct functions in an
+hour — locality groups confine each worker to a stable subset, which is
+what keeps JIT code and caches resident.
+
+At bench scale the population is 60 functions over 3 locality groups, so
+the claim becomes: a worker sees roughly its group's share of functions,
+not the whole population.
+"""
+
+from conftest import write_result
+from repro.analysis import distinct_functions_percentiles
+from repro.metrics import format_table
+
+
+def test_fig09_distinct_functions(dayrun, benchmark):
+    p50, p95 = benchmark(lambda: distinct_functions_percentiles(
+        dayrun.platform, percentiles=(50, 95)))
+    n_functions = len(dayrun.platform.functions())
+    n_groups = dayrun.platform.locality_optimizer.n_groups
+    table = format_table(
+        ["statistic", "value"],
+        [["registered functions", n_functions],
+         ["locality groups", n_groups],
+         ["distinct functions / worker / hour P50", p50],
+         ["distinct functions / worker / hour P95", p95],
+         ["paper (18,377 functions)", "61 P50 / 113 P95"]],
+        title="Figure 9 — distinct functions per worker per hour")
+    write_result("fig09_distinct_functions", table)
+
+    # Shape: a worker sees a subset of the population.  At simulation
+    # scale (2-worker regions running near saturation) overflow spill
+    # across groups is common, so the subset effect is milder than the
+    # paper's 61-of-18,377; the §5.2 A/B bench isolates it cleanly.
+    assert p50 < n_functions * 0.9
+    assert p50 <= p95
+    assert p95 <= n_functions
+    # And workers do execute a meaningful variety (not 1-2 functions).
+    assert p50 >= 3

@@ -1,0 +1,41 @@
+"""Figure 10 — a worker's memory stays stable while highly utilized.
+
+Paper claim: worker memory consumption holds at a stable level under
+full load — the locality-group-bounded resident set plus per-call live
+memory never runs away, which is what makes 64 GB workers viable.
+"""
+
+import statistics
+
+from conftest import write_result
+from repro.analysis import worker_memory_series
+from repro.metrics import series_block
+
+DAY_S = 86_400.0
+
+
+def test_fig10_worker_memory(dayrun, benchmark):
+    series = benchmark(lambda: worker_memory_series(
+        dayrun.platform, 3600.0, DAY_S, step=600.0))
+    values = [v for _, v in series]
+    mean_mb = statistics.mean(values)
+    cv = statistics.pstdev(values) / mean_mb
+    machine_mb = dayrun.platform.topology.regions[0].machine_spec.memory_mb
+
+    out = "\n".join([
+        series_block("sample worker memory (MB, 10-min samples)", values),
+        "",
+        f"mean {mean_mb:.0f} MB of {machine_mb:.0f} MB physical "
+        f"({100 * mean_mb / machine_mb:.0f}%)",
+        f"coefficient of variation: {cv:.3f} (stability claim)",
+        f"max observed: {max(values):.0f} MB",
+    ])
+    write_result("fig10_worker_memory", out)
+
+    # Stability: bounded variation, no monotone growth (leak shape),
+    # never exceeding physical memory.
+    assert cv < 0.5
+    assert max(values) < machine_mb
+    first_half = statistics.mean(values[: len(values) // 2])
+    second_half = statistics.mean(values[len(values) // 2:])
+    assert second_half < first_half * 1.5  # no runaway growth

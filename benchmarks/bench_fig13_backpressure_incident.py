@@ -1,0 +1,102 @@
+"""Figures 13/14 (§5.5) — back-pressure protects downstream services.
+
+Paper incidents: (1) a buggy WTCache release degraded its KVStore path;
+KVStore throttled WTCache, and XFaaS's back-pressure mechanism slowed
+the calling functions until the release was fixed.  (2) AIMD cut a
+function's RPS during overload and restored it automatically afterward.
+
+The reproduction injects a KVStore capacity collapse mid-run and checks
+the full loop: exceptions spike → AIMD cuts the caller's RPS →
+downstream load drops → incident ends → additive increase restores
+traffic, all without manual intervention.
+"""
+
+import math
+
+from conftest import write_result
+from repro import (FunctionSpec, Incident, IncidentInjector, PlatformParams,
+                   ServiceRegistry, Simulator, XFaaS, build_tao_stack,
+                   build_topology)
+from repro.core import CongestionParams
+from repro.metrics import series_block
+from repro.workloads import LogNormal, ResourceProfile
+
+HORIZON_S = 4800.0
+INCIDENT_START = 1800.0
+INCIDENT_END = 3000.0
+OFFERED_RPS = 40
+
+
+def run_incident():
+    sim = Simulator(seed=13)
+    topology = build_topology(n_regions=2, workers_per_unit=6)
+    services = ServiceRegistry()
+    tao, wtcache, kvstore = build_tao_stack(
+        sim, services, tao_capacity_rps=5000.0,
+        wtcache_capacity_rps=400.0, kvstore_capacity_rps=400.0)
+    params = PlatformParams(congestion=CongestionParams(
+        backpressure_threshold_per_min=60.0, adjust_window_s=30.0,
+        additive_increase_rps=5.0))
+    platform = XFaaS(sim, topology, params, services=services)
+    spec = FunctionSpec(
+        name="graph-sync", quota_minstr_per_s=1.0e6,
+        profile=ResourceProfile(
+            cpu_minstr=LogNormal(mu=math.log(20.0), sigma=0.3),
+            memory_mb=LogNormal(mu=math.log(32.0), sigma=0.3),
+            exec_time_s=LogNormal(mu=math.log(0.2), sigma=0.3)),
+        downstream=(("wtcache", 3),))
+    platform.register_function(spec)
+    IncidentInjector(sim).inject(
+        kvstore, Incident("kvstore", INCIDENT_START, INCIDENT_END,
+                          degraded_factor=0.05))
+    sim.every(1.0, lambda: [platform.submit("graph-sync")
+                            for _ in range(OFFERED_RPS)])
+    limits = []
+    sim.every(60.0, lambda: limits.append(
+        min(platform.congestion.rps_limit("graph-sync"), 10 * OFFERED_RPS)))
+    sim.run_until(HORIZON_S)
+    bp = platform.metrics.counter("backpressure.wtcache").values(0, HORIZON_S)
+    executed = platform.metrics.counter("calls.executed").values(0, HORIZON_S)
+    return platform, bp, executed, limits
+
+
+def _mean(xs):
+    return sum(xs) / max(len(xs), 1)
+
+
+def test_fig13_backpressure_incident(benchmark):
+    platform, bp, executed, limits = benchmark.pedantic(
+        run_incident, rounds=1, iterations=1)
+    m0, m1 = int(INCIDENT_START // 60), int(INCIDENT_END // 60)
+    during_exec = _mean(executed[m0 + 5:m1])
+    before_exec = _mean(executed[m0 - 10:m0])
+    after_exec = _mean(executed[-10:])
+    during_limit = min(limits[m0 + 2:m1])
+    out = "\n".join([
+        series_block("wtcache back-pressure exceptions / min", bp),
+        "",
+        series_block("function executions / min", executed),
+        "",
+        series_block("AIMD RPS limit (capped for display)",
+                     [float(l) for l in limits]),
+        "",
+        f"executions/min before incident: {before_exec:.0f}",
+        f"executions/min during incident: {during_exec:.0f}",
+        f"executions/min after recovery:  {after_exec:.0f}",
+        f"lowest AIMD limit during incident: {during_limit:.1f} RPS "
+        f"(offered {OFFERED_RPS} RPS)",
+        f"multiplicative decreases: {platform.congestion.decrease_count}, "
+        f"additive increases: {platform.congestion.increase_count}",
+    ])
+    write_result("fig13_backpressure_incident", out)
+
+    # The §5.5 loop: exceptions concentrated in the incident window...
+    assert sum(bp[m0:m1 + 2]) > 0.5 * sum(bp)
+    # ...AIMD engaged and cut the limit hard...
+    assert platform.congestion.decrease_count >= 3
+    assert during_limit < OFFERED_RPS
+    # ...throttling executions during the incident...
+    assert during_exec < 0.75 * before_exec
+    # ...and automatic recovery afterward.
+    assert after_exec > 1.3 * during_exec
+    assert platform.congestion.increase_count > 0

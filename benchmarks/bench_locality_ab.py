@@ -1,0 +1,96 @@
+"""§5.2 A/B — locality groups reduce worker memory consumption.
+
+Paper experiment: one region's workers were split into two partitions,
+with and without locality groups, receiving the same randomly-split
+production traffic for two weeks; the locality partition used 11.8%
+(P50) / 11.4% (P95) less memory.
+
+The reproduction runs the same mixed workload (including Morphing-style
+ephemeral memory hogs) on two identical platforms differing only in the
+locality flag and compares worker memory distributions.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro import PlatformParams, Simulator, XFaaS, build_topology
+from repro.cluster import MachineSpec
+from repro.core import LocalityParams, WorkerParams
+from repro.metrics import format_table
+from repro.workloads import (ArrivalGenerator, ConstantRate, all_examples,
+                             build_population)
+
+HORIZON_S = 3 * 3600.0
+
+
+def run_arm(enabled: bool):
+    sim = Simulator(seed=31)
+    topology = build_topology(
+        n_regions=2, workers_per_unit=6,
+        machine_spec=MachineSpec(cores=4, core_mips=2000, threads=64))
+    params = PlatformParams(
+        locality_groups=enabled,
+        locality=LocalityParams(n_groups=2, rebalance_interval_s=120.0),
+        # Resident footprint per function stands in for HHVM's JIT code
+        # + warm caches, which in production are GBs per worker — the
+        # quantity the §5.2 A/B actually saves.
+        worker=WorkerParams(resident_multiplier=10.0,
+                            resident_budget_mb=40 * 1024.0),
+        memory_sample_interval_s=60.0,
+        distinct_window_s=1800.0)
+    platform = XFaaS(sim, topology, params)
+    pop = build_population(n_functions=60, total_rate=10.0,
+                           opportunistic_fraction=0.0)
+    for load in pop.loads:
+        load.shape = ConstantRate(1.0)
+        load.shape_mean = 1.0
+    for spec in pop.specs:
+        platform.register_function(spec)
+    for example in all_examples():
+        if example.name == "morphing-framework":
+            for spec in example.specs:
+                platform.register_function(spec)
+    ArrivalGenerator(sim, pop, lambda s, d: platform.submit(s.name),
+                     tick_s=10.0, stop_at=HORIZON_S)
+    morph = [f for f in platform.functions() if f.startswith("morphing")]
+    sim.every(60.0, lambda: platform.submit(
+        sim.rng.stream("morph-pick").choice(morph)))
+    sim.run_until(HORIZON_S)
+    mem = platform.metrics.distribution("worker.memory_mb")
+    distinct = platform.metrics.distribution(
+        "worker.distinct_functions_per_window")
+    return {
+        "mem_p50": mem.percentile(50),
+        "mem_p95": mem.percentile(95),
+        "distinct_p50": distinct.percentile(50),
+        "completed": platform.completed_count(),
+    }
+
+
+def test_locality_ab(benchmark):
+    with_groups, without = benchmark.pedantic(
+        lambda: (run_arm(True), run_arm(False)), rounds=1, iterations=1)
+    saving_p50 = 100.0 * (1 - with_groups["mem_p50"] / without["mem_p50"])
+    saving_p95 = 100.0 * (1 - with_groups["mem_p95"] / without["mem_p95"])
+    table = format_table(
+        ["metric", "with locality", "without", "saving"],
+        [["worker memory P50 (MB)", f"{with_groups['mem_p50']:.0f}",
+          f"{without['mem_p50']:.0f}", f"{saving_p50:.1f}% (paper 11.8%)"],
+         ["worker memory P95 (MB)", f"{with_groups['mem_p95']:.0f}",
+          f"{without['mem_p95']:.0f}", f"{saving_p95:.1f}% (paper 11.4%)"],
+         ["distinct functions P50", with_groups["distinct_p50"],
+          without["distinct_p50"], ""],
+         ["calls completed", with_groups["completed"],
+          without["completed"], ""]],
+        title="§5.2 A/B — locality groups vs no locality groups")
+    write_result("locality_ab", table)
+
+    # Shape claims: locality reduces P50 worker memory by a meaningful
+    # margin (paper: ~12%) at identical completed work, by bounding the
+    # distinct-function (and therefore resident JIT/cache) set.  P95 is
+    # reported but not asserted: at 5-6 workers per group, the morphing
+    # hogs' placement dominates the tail either way.
+    assert saving_p50 > 4.0
+    assert with_groups["distinct_p50"] < without["distinct_p50"]
+    ratio = with_groups["completed"] / max(without["completed"], 1)
+    assert ratio > 0.9  # locality must not cost throughput

@@ -1,0 +1,49 @@
+"""Table 1 — breakdown of functions by trigger category.
+
+Paper numbers (one production month):
+
+    trigger   functions   calls   compute
+    queue     89%         15%     86%
+    event     8%          85%     14%
+    timer     3%          <1%     <1%
+"""
+
+from conftest import write_result
+from repro.analysis import table1_from_traces
+from repro.metrics import format_table
+
+PAPER = {
+    "queue-triggered": (89, 15, 86),
+    "event-triggered": (8, 85, 14),
+    "timer-triggered": (3, 1, 1),
+}
+
+
+def test_table1_categories(dayrun, benchmark):
+    rows = benchmark(lambda: table1_from_traces(
+        dayrun.platform.traces, dayrun.specs_by_trigger))
+    display = []
+    for name, f_pct, c_pct, cpu_pct in rows:
+        p = PAPER[name]
+        display.append([name,
+                        f"{f_pct:.0f}% (paper {p[0]}%)",
+                        f"{c_pct:.0f}% (paper {p[1]}%)",
+                        f"{cpu_pct:.0f}% (paper {p[2]}%)"])
+    table = format_table(
+        ["trigger", "functions", "function calls", "compute usage"],
+        display, title="Table 1 — trigger-category breakdown")
+    write_result("table1_categories", table)
+
+    by_name = {r[0]: r for r in rows}
+    q = by_name["queue-triggered"]
+    e = by_name["event-triggered"]
+    t = by_name["timer-triggered"]
+    # Function-count shares are construction-exact (±2%).
+    assert abs(q[1] - 89) < 3 and abs(e[1] - 8) < 3 and abs(t[1] - 3) < 3
+    # Call shares: event dominates invocations.
+    assert e[2] > 70
+    assert q[2] < 30
+    # Compute shares: queue dominates CPU despite few calls.
+    assert q[3] > 60
+    assert e[3] < 35
+    assert t[2] < 5

@@ -1,0 +1,33 @@
+"""Table 2 — the five §3.2 example workloads' resource ranges.
+
+Paper claim: workloads span orders of magnitude — Falco log handlers are
+tiny and sub-second; Morphing Framework transformations run for minutes
+and consume orders of magnitude more CPU than ordinary functions.
+"""
+
+from conftest import write_result
+from repro.metrics import format_table
+from repro.workloads import table2_rows
+
+
+def test_table2_workload_examples(benchmark):
+    rows = benchmark(lambda: table2_rows(samples_per_spec=400))
+    table = format_table(
+        ["workload", "CPU lo (M instr)", "CPU hi", "mem lo (MB)", "mem hi",
+         "exec lo (s)", "exec hi"],
+        [[name, f"{cl:.2f}", f"{ch:.0f}", f"{ml:.0f}", f"{mh:.0f}",
+          f"{el:.3f}", f"{eh:.1f}"]
+         for name, cl, ch, ml, mh, el, eh in rows],
+        title="Table 2 — §3.2 workload examples (P10–P90 ranges)")
+    write_result("table2_workload_examples", table)
+
+    by_name = {r[0]: r for r in rows}
+    falco = by_name["falco"]
+    morphing = by_name["morphing-framework"]
+    # Morphing CPU exceeds Falco CPU by orders of magnitude (§3.2).
+    assert morphing[1] > 1000 * falco[2]
+    # Morphing runs for minutes; Falco is sub-second at the median scale.
+    assert morphing[5] >= 60.0
+    assert falco[5] < 1.0
+    # All five workloads present.
+    assert len(rows) == 5

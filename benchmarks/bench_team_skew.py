@@ -1,0 +1,37 @@
+"""§6 team capacity skew — 0.4% / 2.6% of teams use 50% / 90% of capacity.
+
+Paper claim: among thousands of teams, a single team consumes 10% of
+total capacity, 0.4% of teams consume 50%, and 2.6% consume 90%.
+"""
+
+from conftest import write_result
+from repro.metrics import format_table
+from repro.workloads import capacity_concentration, team_weights
+
+N_TEAMS = 2000
+
+
+def compute_skew():
+    weights = team_weights(N_TEAMS)
+    return {
+        "top_team": weights[0],
+        "c50": capacity_concentration(weights, 0.5),
+        "c90": capacity_concentration(weights, 0.9),
+        "weights": weights,
+    }
+
+
+def test_team_skew(benchmark):
+    skew = benchmark(compute_skew)
+    table = format_table(
+        ["statistic", "measured", "paper"],
+        [["top team capacity share", f"{100 * skew['top_team']:.1f}%", "10%"],
+         ["teams covering 50% capacity", f"{100 * skew['c50']:.2f}%", "0.4%"],
+         ["teams covering 90% capacity", f"{100 * skew['c90']:.2f}%", "2.6%"]],
+        title=f"§6 team skew over {N_TEAMS} teams")
+    write_result("team_skew", table)
+
+    assert abs(skew["top_team"] - 0.10) < 0.01
+    assert abs(skew["c50"] - 0.004) < 0.001
+    assert abs(skew["c90"] - 0.026) < 0.003
+    assert abs(sum(skew["weights"]) - 1.0) < 1e-9

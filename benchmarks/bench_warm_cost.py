@@ -1,0 +1,107 @@
+"""§1 motivation — the cost of keeping rarely-invoked functions warm.
+
+Paper quote (via Shahrad et al.): "81% of the applications are invoked
+once per minute or less on average.  This suggests that the cost of
+keeping these applications warm, relative to their total execution
+(billable) time, can be prohibitively high."
+
+The bench runs the same rare-function workload (81% of functions at
+≤ 1 invocation/minute) through:
+
+* the **baseline** per-function container pool (10-minute keep-alive —
+  Wang et al.'s measurement of the major public platforms), and
+* **XFaaS** shared universal workers.
+
+and compares hardware cost per unit of billable work: reserved
+memory-time and CPU utilization.
+"""
+
+import math
+
+from conftest import write_result
+from repro import PlatformParams, Simulator, XFaaS, build_topology
+from repro.baselines import ContainerPool, ContainerPoolParams
+from repro.cluster import MachineSpec
+from repro.metrics import format_table
+from repro.workloads import ArrivalGenerator, build_rare_population, rare_share
+
+HORIZON_S = 2 * 3600.0
+
+
+def run_baseline(population):
+    sim = Simulator(seed=41)
+    pool = ContainerPool(
+        sim, capacity_cores=64, capacity_memory_mb=512 * 1024.0,
+        params=ContainerPoolParams(keepalive_s=600.0,
+                                   container_memory_mb=256.0))
+    for load in population.loads:
+        pool.register_function(load.spec)
+    # Memory-time integral sampled each minute.
+    samples = []
+    sim.every(60.0, lambda: samples.append(pool.memory_reserved_mb))
+    ArrivalGenerator(sim, population, lambda s, d: pool.submit(s.name),
+                     tick_s=5.0, stop_at=HORIZON_S)
+    sim.run_until(HORIZON_S)
+    return {
+        "completed": pool.completed,
+        "cold_starts": pool.cold_starts,
+        "mean_reserved_mb": sum(samples) / max(len(samples), 1),
+        "utilization": pool.utilization(),
+    }
+
+
+def run_xfaas(population):
+    sim = Simulator(seed=41)
+    topology = build_topology(
+        n_regions=1, workers_per_unit=2,
+        machine_spec=MachineSpec(cores=8, core_mips=4000, threads=128))
+    platform = XFaaS(sim, topology, PlatformParams(
+        memory_sample_interval_s=60.0))
+    for load in population.loads:
+        platform.register_function(load.spec)
+    ArrivalGenerator(sim, population,
+                     lambda s, d: platform.submit(s.name),
+                     tick_s=5.0, stop_at=HORIZON_S)
+    sim.run_until(HORIZON_S)
+    mem = platform.metrics.distribution("worker.memory_mb")
+    workers = platform.all_workers
+    util = sum(w.cpu.utilization_total(sim.now) for w in workers) / \
+        len(workers)
+    return {
+        "completed": platform.completed_count(),
+        "cold_starts": 0,  # universal worker: no cold starts by design
+        "mean_reserved_mb": mem.mean() * len(workers),
+        "utilization": util,
+    }
+
+
+def test_warm_cost(benchmark):
+    population = build_rare_population(n_functions=200)
+    assert abs(rare_share(population) - 0.81) < 0.02
+    base, xf = benchmark.pedantic(
+        lambda: (run_baseline(population), run_xfaas(population)),
+        rounds=1, iterations=1)
+    base_mb_per_call = base["mean_reserved_mb"] * HORIZON_S / \
+        max(base["completed"], 1)
+    xf_mb_per_call = xf["mean_reserved_mb"] * HORIZON_S / \
+        max(xf["completed"], 1)
+    table = format_table(
+        ["metric", "per-function containers", "XFaaS shared workers"],
+        [["calls completed", base["completed"], xf["completed"]],
+         ["cold starts", base["cold_starts"], xf["cold_starts"]],
+         ["mean reserved memory (MB)", f"{base['mean_reserved_mb']:.0f}",
+          f"{xf['mean_reserved_mb']:.0f}"],
+         ["MB·s reserved per completed call", f"{base_mb_per_call:.0f}",
+          f"{xf_mb_per_call:.0f}"],
+         ["memory-cost ratio", f"{base_mb_per_call / xf_mb_per_call:.1f}x",
+          "1x"]],
+        title="§1 — warm-keeping cost for a population with 81% of "
+              "functions at <=1 invocation/min")
+    write_result("warm_cost", table)
+
+    # Both platforms complete the work, but the baseline pays cold
+    # starts continuously (rare functions outlive their keep-alive)...
+    assert base["completed"] >= 0.95 * xf["completed"]
+    assert base["cold_starts"] > 100
+    # ...and reserves substantially more memory-time per billable call.
+    assert base_mb_per_call > 1.5 * xf_mb_per_call

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Downstream protection demo: the §5.5 WTCache incident, reproduced.
+
+A high-volume function calls WTCache (which fronts TAO and persists to a
+KVStore).  Mid-run, a bad KVStore release cuts its capacity to 10% —
+the §5.5 incident.  WTCache starts throwing back-pressure exceptions;
+XFaaS's AIMD controller cuts the function's RPS limit, protecting the
+downstream stack; when the incident ends, slow start restores traffic.
+
+Run:  python examples/downstream_protection.py
+"""
+
+import math
+
+from repro import (FunctionSpec, Incident, IncidentInjector, PlatformParams,
+                   ServiceRegistry, Simulator, XFaaS, build_tao_stack,
+                   build_topology)
+from repro.core import CongestionParams
+from repro.metrics import series_block
+from repro.workloads import LogNormal, ResourceProfile
+
+INCIDENT_START = 1200.0
+INCIDENT_END = 2400.0
+
+
+def main() -> None:
+    sim = Simulator(seed=11)
+    topology = build_topology(n_regions=2, workers_per_unit=6)
+    services = ServiceRegistry()
+    tao, wtcache, kvstore = build_tao_stack(
+        sim, services,
+        tao_capacity_rps=5000.0,
+        wtcache_capacity_rps=400.0,
+        kvstore_capacity_rps=400.0)
+    params = PlatformParams(
+        congestion=CongestionParams(
+            backpressure_threshold_per_min=60.0,
+            adjust_window_s=30.0,
+            additive_increase_rps=5.0))
+    platform = XFaaS(sim, topology, params, services=services)
+
+    spec = FunctionSpec(
+        name="graph-sync",
+        quota_minstr_per_s=1.0e6,
+        profile=ResourceProfile(
+            cpu_minstr=LogNormal(mu=math.log(20.0), sigma=0.3),
+            memory_mb=LogNormal(mu=math.log(32.0), sigma=0.3),
+            exec_time_s=LogNormal(mu=math.log(0.2), sigma=0.3)),
+        downstream=(("wtcache", 3),))
+    platform.register_function(spec)
+
+    # Inject the KVStore capacity collapse (the buggy release).
+    injector = IncidentInjector(sim)
+    injector.inject(kvstore, Incident("kvstore", INCIDENT_START,
+                                      INCIDENT_END, degraded_factor=0.05))
+
+    # Steady high-volume traffic: 40 calls/s.
+    sim.every(1.0, lambda: [platform.submit("graph-sync")
+                            for _ in range(40)])
+
+    limit_series = []
+    sim.every(60.0, lambda: limit_series.append(
+        min(platform.congestion.rps_limit("graph-sync"), 200.0)))
+
+    sim.run_until(4800.0)
+
+    bp = platform.metrics.counter("backpressure.wtcache").values(0, 4800)
+    executed = platform.metrics.counter("calls.executed").values(0, 4800)
+
+    print(series_block("back-pressure exceptions per minute", bp))
+    print()
+    print(series_block("function executions per minute", executed))
+    print()
+    print(series_block("AIMD RPS limit (capped at 200 for display)",
+                       limit_series))
+    print()
+    during = platform.congestion.decrease_count
+    print(f"AIMD multiplicative decreases: {during}")
+    print(f"AIMD additive increases:       "
+          f"{platform.congestion.increase_count}")
+    print()
+    print("During the incident the AIMD limit collapses, throttling the")
+    print("function; after recovery the limit climbs back additively —")
+    print("no human intervention, unlike the day-long §5.5 outage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Event pipeline demo: all four trigger types driving one platform.
+
+Recreates the §2.2 origin story of the midnight spike — Hive-like
+pipelines land tables around midnight, each landing firing hundreds of
+partition-processing calls — alongside a Falco-style data-stream logger,
+a timer-driven notification campaign, and an ETL orchestration workflow:
+
+* data warehouse:  10 tables land near midnight → `table-processor`
+* data stream:     continuous log events → `falco-logger` (15 s SLO)
+* timer:           an hourly campaign fan-out → `notify-users`
+* workflow:        extract → transform → load chains all day
+
+Run:  python examples/event_pipeline.py
+"""
+
+import math
+
+from repro import (FunctionSpec, PlatformParams, QuotaType, Simulator, XFaaS,
+                   build_topology)
+from repro.cluster import MachineSpec
+from repro.metrics import series_block
+from repro.triggers import (DataStream, DataWarehouse, IntervalSchedule,
+                            StreamTriggerService, TimerTriggerService,
+                            WorkflowEngine, WorkflowSpec, midnight_pipelines)
+from repro.workloads import LogNormal, ResourceProfile
+
+HORIZON_S = 6 * 3600.0  # the six hours around midnight
+
+
+def profile(cpu, exec_s):
+    return ResourceProfile(
+        cpu_minstr=LogNormal(mu=math.log(cpu), sigma=0.4),
+        memory_mb=LogNormal(mu=math.log(48.0), sigma=0.4),
+        exec_time_s=LogNormal(mu=math.log(exec_s), sigma=0.4))
+
+
+def main() -> None:
+    sim = Simulator(seed=9)
+    topology = build_topology(
+        n_regions=3, workers_per_unit=4,
+        machine_spec=MachineSpec(cores=4, core_mips=1000, threads=48))
+    platform = XFaaS(sim, topology, PlatformParams())
+
+    platform.register_function(FunctionSpec(
+        name="table-processor", quota_type=QuotaType.OPPORTUNISTIC,
+        quota_minstr_per_s=5.0e4, profile=profile(400.0, 2.0)))
+    platform.register_function(FunctionSpec(
+        name="falco-logger", deadline_s=15.0,
+        quota_minstr_per_s=1.0e5, profile=profile(5.0, 0.1)))
+    platform.register_function(FunctionSpec(
+        name="notify-users", quota_minstr_per_s=1.0e5,
+        profile=profile(50.0, 0.5)))
+    for step in ("extract", "transform", "load"):
+        platform.register_function(FunctionSpec(
+            name=step, quota_minstr_per_s=1.0e5, profile=profile(100.0, 1.0)))
+
+    # 1. Warehouse: the midnight pipeline cluster.
+    warehouse = DataWarehouse(sim)
+    for table in midnight_pipelines(n_tables=10, partitions=150,
+                                    spread_s=2700.0):
+        warehouse.register_table(table)
+        warehouse.subscribe(table.name, "table-processor")
+    warehouse.start(lambda fn: platform.submit(fn), days=1)
+
+    # 2. Stream: steady Falco-style log events at ~8/s.
+    stream = DataStream(sim, "falco-events", partitions=4)
+    trigger = StreamTriggerService(sim, stream, "falco-logger",
+                                   lambda fn: platform.submit(fn),
+                                   poll_interval_s=1.0)
+    sim.every(1.0, lambda: [stream.produce() for _ in range(8)])
+
+    # 3. Timer: an hourly notification campaign, 100 users per fire.
+    timers = TimerTriggerService(sim, lambda fn: platform.submit(fn))
+    timers.register("notify-users", IntervalSchedule(interval_s=3600.0,
+                                                     offset_s=1800.0),
+                    calls_per_fire=100)
+
+    # 4. Workflows: a new ETL instance every 5 minutes.
+    engine = WorkflowEngine(platform)
+    engine.register(WorkflowSpec(name="etl",
+                                 steps=("extract", "transform", "load")))
+    sim.every(300.0, lambda: engine.start("etl"))
+
+    sim.run_until(HORIZON_S)
+
+    received = platform.metrics.counter("calls.received").values(0, HORIZON_S)
+    executed = platform.metrics.counter("calls.executed").values(0, HORIZON_S)
+    falco = [t for t in platform.traces.completed()
+             if t.function == "falco-logger"]
+    # Exclude the first 15 minutes: slow start (§4.6.3) intentionally
+    # ramps a brand-new high-volume function at 20%/min, so its very
+    # first minutes carry queueing delay by design.
+    steady = [t for t in falco if t.submit_time > 900.0]
+    falco_lat = sorted(t.completion_latency for t in steady)
+
+    print(series_block("received per minute (midnight spike at t=0)",
+                       received))
+    print()
+    print(series_block("executed per minute", executed))
+    print()
+    table_calls = sum(1 for t in platform.traces
+                      if t.function == "table-processor")
+    print(f"table landings within the window: {len(warehouse.landings)} "
+          f"({table_calls} partition calls)")
+    print(f"falco events processed: {len(falco)}, steady-state P99 latency "
+          f"{falco_lat[int(0.99 * len(falco_lat))]:.2f}s (SLO 60s at P99; "
+          f"the first minutes ramp through slow start)")
+    print(f"campaigns fired: {timers.fired_count} "
+          f"({timers.submitted_count} notifications)")
+    print(f"workflows completed: {len(engine.completed())} of "
+          f"{len(engine.instances)}")
+    print()
+    print("The warehouse landings create the received spike at t=0; the")
+    print("opportunistic table-processor calls are deferred and drained")
+    print("while the latency-sensitive stream/workflow traffic flows.")
+
+
+if __name__ == "__main__":
+    main()

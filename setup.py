@@ -1,0 +1,9 @@
+"""Setup shim so `python setup.py develop` works without the wheel package.
+
+The offline environment lacks `wheel`, which modern `pip install -e .`
+requires; metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""Reproduction of *XFaaS: Hyperscale and Low Cost Serverless Functions
+at Meta* (Sahraei et al., SOSP 2023) on a deterministic discrete-event
+simulator.
+
+Quickstart::
+
+    from repro import Simulator, XFaaS, build_topology, FunctionSpec
+
+    sim = Simulator(seed=42)
+    platform = XFaaS(sim, build_topology(n_regions=4, workers_per_unit=8))
+    spec = FunctionSpec(name="hello")
+    platform.register_function(spec)
+    platform.submit("hello")
+    sim.run_until(60.0)
+    print(platform.completed_count())
+
+Subpackages:
+
+* :mod:`repro.sim` — discrete-event kernel.
+* :mod:`repro.cluster` — machines, regions, network, topology.
+* :mod:`repro.workloads` — Table 1–3 workload models and generators.
+* :mod:`repro.core` — every XFaaS component of the paper's Figure 6.
+* :mod:`repro.downstream` — TAO/WTCache/KVStore back-pressure models.
+* :mod:`repro.baselines` — AWS-Lambda-style cold-start comparator.
+* :mod:`repro.analysis` — series/shape helpers for the benchmarks.
+"""
+
+from .cluster import MachineSpec, NetworkModel, Region, Topology, build_topology
+from .core import (CallOutcome, CallState, FunctionCall, PlatformParams,
+                   XFaaS)
+from .downstream import (DownstreamService, Incident, IncidentInjector,
+                         ServiceParams, ServiceRegistry, build_tao_stack)
+from .sim import Simulator
+from .workloads import (Criticality, DiurnalRate, FunctionSpec, QuotaType,
+                        ResourceProfile, RetryPolicy, TriggerType,
+                        build_population)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CallOutcome",
+    "CallState",
+    "Criticality",
+    "DiurnalRate",
+    "DownstreamService",
+    "FunctionCall",
+    "FunctionSpec",
+    "Incident",
+    "IncidentInjector",
+    "MachineSpec",
+    "NetworkModel",
+    "PlatformParams",
+    "QuotaType",
+    "Region",
+    "ResourceProfile",
+    "RetryPolicy",
+    "ServiceParams",
+    "ServiceRegistry",
+    "Simulator",
+    "Topology",
+    "TriggerType",
+    "XFaaS",
+    "build_population",
+    "build_tao_stack",
+    "build_topology",
+]

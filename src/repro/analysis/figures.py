@@ -1,0 +1,80 @@
+"""Builders that turn platform metrics into the paper's figure series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.platform import XFaaS
+from ..metrics.timeseries import Counter, Gauge
+
+
+def received_vs_executed(platform: XFaaS, t_start: float = 0.0,
+                         t_end: Optional[float] = None,
+                         ) -> Tuple[List[float], List[float]]:
+    """Figure 2 / 4 series: per-minute received and executed call counts."""
+    received = platform.metrics.counter("calls.received")
+    executed = platform.metrics.counter("calls.executed")
+    r = received.values(t_start, t_end)
+    e = executed.values(t_start, t_end)
+    n = max(len(r), len(e))
+    r += [0.0] * (n - len(r))
+    e += [0.0] * (n - len(e))
+    return r, e
+
+
+def region_utilization_averages(platform: XFaaS, t_start: float,
+                                t_end: float) -> Dict[str, float]:
+    """Figure 7: daily-average CPU utilization per region."""
+    out = {}
+    for region in platform.topology.region_names:
+        name = f"region.{region}.utilization"
+        if platform.metrics.has_gauge(name):
+            out[region] = platform.metrics.gauge(name).time_average(
+                t_start, t_end)
+    return out
+
+
+def fleet_utilization_series(platform: XFaaS, t_start: float, t_end: float,
+                             step: float = 60.0) -> List[Tuple[float, float]]:
+    """Figure 8: fleet CPU utilization over time."""
+    gauge = platform.metrics.gauge("fleet.utilization")
+    return gauge.sampled(t_start, t_end, step)
+
+
+def quota_cpu_series(platform: XFaaS, t_start: float = 0.0,
+                     t_end: Optional[float] = None,
+                     ) -> Tuple[List[float], List[float]]:
+    """Figure 11: per-minute CPU consumed by reserved vs opportunistic."""
+    reserved = platform.metrics.counter("cpu.reserved")
+    opportunistic = platform.metrics.counter("cpu.opportunistic")
+    r = reserved.values(t_start, t_end)
+    o = opportunistic.values(t_start, t_end)
+    n = max(len(r), len(o))
+    r += [0.0] * (n - len(r))
+    o += [0.0] * (n - len(o))
+    return r, o
+
+
+def distinct_functions_percentiles(platform: XFaaS,
+                                   percentiles=(50, 95)) -> List[float]:
+    """Figure 9: distinct functions per worker per window percentiles."""
+    dist = platform.metrics.distribution(
+        "worker.distinct_functions_per_window")
+    return [dist.percentile(p) for p in percentiles]
+
+
+def worker_memory_series(platform: XFaaS, t_start: float, t_end: float,
+                         step: float = 60.0) -> List[Tuple[float, float]]:
+    """Figure 10: one worker's memory over time."""
+    gauge = platform.metrics.gauge("worker.sample.memory_mb")
+    return gauge.sampled(t_start, t_end, step)
+
+
+def backpressure_series(platform: XFaaS, service: str,
+                        t_start: float = 0.0,
+                        t_end: Optional[float] = None) -> List[float]:
+    """§5.5 incident view: back-pressure exceptions per minute."""
+    name = f"backpressure.{service}"
+    if not platform.metrics.has_counter(name):
+        return []
+    return platform.metrics.counter(name).values(t_start, t_end)

@@ -1,0 +1,113 @@
+"""Shape statistics used to compare measured curves with the paper's.
+
+The reproduction does not chase the paper's absolute numbers (our
+substrate is a simulator), but the *shapes* — peak-to-trough ratios,
+smoothing factors, complementarity of reserved vs opportunistic CPU —
+should hold.  These helpers compute exactly those statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def peak_to_trough(values: Sequence[float], trim_fraction: float = 0.0) -> float:
+    """Max/min ratio of a series.
+
+    ``trim_fraction`` drops that fraction of the lowest and highest
+    samples first (robustness against single-bucket artifacts), matching
+    how one would eyeball a figure rather than its single worst pixel.
+    """
+    vals = [v for v in values if not math.isnan(v)]
+    if not vals:
+        raise ValueError("empty series")
+    vals.sort()
+    k = int(len(vals) * trim_fraction)
+    if k > 0:
+        vals = vals[k:len(vals) - k] or vals
+    trough, peak = vals[0], vals[-1]
+    if trough <= 0:
+        return math.inf if peak > 0 else 1.0
+    return peak / trough
+
+
+def smoothing_factor(received: Sequence[float],
+                     executed: Sequence[float],
+                     trim_fraction: float = 0.02) -> float:
+    """How much flatter the executed curve is than the received curve.
+
+    Returns peak_to_trough(received) / peak_to_trough(executed); the
+    paper's headline numbers give 4.3 / 1.4 ≈ 3.1 on CPU utilization.
+    """
+    return (peak_to_trough(received, trim_fraction) /
+            peak_to_trough(executed, trim_fraction))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std/mean — a trim-free flatness measure."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("empty series")
+    mean = sum(vals) / len(vals)
+    if mean == 0:
+        return 0.0
+    var = sum((v - mean) ** 2 for v in vals) / len(vals)
+    return math.sqrt(var) / mean
+
+
+def pearson(a: Sequence[float], b: Sequence[float]) -> float:
+    """Pearson correlation; Figure 11's complementarity shows as r < 0."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    n = len(a)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_a = sum(a) / n
+    mean_b = sum(b) / n
+    cov = sum((x - mean_a) * (y - mean_b) for x, y in zip(a, b))
+    var_a = sum((x - mean_a) ** 2 for x in a)
+    var_b = sum((y - mean_b) ** 2 for y in b)
+    if var_a == 0 or var_b == 0:
+        return 0.0
+    return cov / math.sqrt(var_a * var_b)
+
+
+def complementarity(reserved: Sequence[float],
+                    opportunistic: Sequence[float]) -> float:
+    """Figure 11 statistic: how flat is the *sum* relative to its parts.
+
+    Returns CV(reserved + opportunistic) / CV(reserved); values well
+    below 1 mean opportunistic work fills the reserved curve's troughs.
+    """
+    total = [r + o for r, o in zip(reserved, opportunistic)]
+    cv_reserved = coefficient_of_variation(reserved)
+    if cv_reserved == 0:
+        return 1.0
+    return coefficient_of_variation(total) / cv_reserved
+
+
+def time_to_reach(series: Sequence[Tuple[float, float]], target: float,
+                  sustain_points: int = 3) -> float:
+    """First time a (t, value) series reaches ``target`` and stays there.
+
+    Used for the Figure 12 "time to maximum RPS" measurement.
+    """
+    if sustain_points < 1:
+        raise ValueError("sustain_points must be >= 1")
+    n = len(series)
+    for i, (t, v) in enumerate(series):
+        if v >= target:
+            window = series[i:i + sustain_points]
+            if len(window) == sustain_points and all(
+                    val >= target for _, val in window):
+                return t
+    return math.inf
+
+
+def normalize(values: Sequence[float]) -> List[float]:
+    """Scale a series to max 1.0 (figure-style normalized axes)."""
+    peak = max(values) if values else 0.0
+    if peak <= 0:
+        return [0.0 for _ in values]
+    return [v / peak for v in values]

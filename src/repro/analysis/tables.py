@@ -1,0 +1,79 @@
+"""Builders that turn trace logs into the paper's Tables 1–3."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..metrics.timeseries import Distribution
+from ..workloads.spec import TriggerType
+from ..workloads.trace import CallTrace
+
+
+def table1_from_traces(traces: Iterable[CallTrace],
+                       specs_by_trigger: Dict[str, int]) -> List[Tuple]:
+    """Rows of Table 1: per trigger, % functions, % calls, % compute.
+
+    ``specs_by_trigger`` maps trigger value → registered function count
+    (the function-share column counts registered functions, not only
+    those invoked).
+    """
+    calls: Dict[str, int] = {t.value: 0 for t in TriggerType}
+    compute: Dict[str, float] = {t.value: 0.0 for t in TriggerType}
+    for tr in traces:
+        if tr.outcome != "ok":
+            continue
+        calls[tr.trigger] = calls.get(tr.trigger, 0) + 1
+        compute[tr.trigger] = compute.get(tr.trigger, 0.0) + tr.cpu_minstr
+    total_functions = sum(specs_by_trigger.values()) or 1
+    total_calls = sum(calls.values()) or 1
+    total_compute = sum(compute.values()) or 1.0
+    rows = []
+    for trigger in TriggerType:
+        key = trigger.value
+        rows.append((
+            f"{key}-triggered",
+            100.0 * specs_by_trigger.get(key, 0) / total_functions,
+            100.0 * calls.get(key, 0) / total_calls,
+            100.0 * compute.get(key, 0.0) / total_compute,
+        ))
+    return rows
+
+
+def table3_from_traces(traces: Iterable[CallTrace],
+                       percentiles: Sequence[float] = (10, 50, 90, 99),
+                       ) -> Dict[str, Dict[str, List[float]]]:
+    """Table 3: per-trigger percentiles of CPU, memory, exec time.
+
+    Returns ``{trigger: {"cpu": [...], "memory": [...], "exec": [...]}}``
+    with one value per requested percentile.
+    """
+    dists: Dict[str, Dict[str, Distribution]] = {}
+    for tr in traces:
+        if tr.outcome != "ok":
+            continue
+        per_trigger = dists.setdefault(tr.trigger, {
+            "cpu": Distribution("cpu"),
+            "memory": Distribution("memory"),
+            "exec": Distribution("exec"),
+        })
+        per_trigger["cpu"].add(tr.cpu_minstr)
+        per_trigger["memory"].add(tr.memory_mb)
+        per_trigger["exec"].add(tr.exec_time_s)
+    out: Dict[str, Dict[str, List[float]]] = {}
+    for trigger, metrics in dists.items():
+        out[trigger] = {
+            name: [dist.percentile(p) for p in percentiles]
+            for name, dist in metrics.items()
+        }
+    return out
+
+
+def aggregate_percentiles(traces: Iterable[CallTrace],
+                          field: str,
+                          percentiles: Sequence[float]) -> List[float]:
+    """Percentiles of one CallTrace numeric field across all ok traces."""
+    dist = Distribution(field)
+    for tr in traces:
+        if tr.outcome == "ok":
+            dist.add(getattr(tr, field))
+    return [dist.percentile(p) for p in percentiles]

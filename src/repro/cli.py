@@ -1,0 +1,177 @@
+"""Command-line interface: run paper-shaped simulations without code.
+
+Examples::
+
+    python -m repro simulate --hours 6 --rate 4 --regions 4
+    python -m repro simulate --hours 24 --rate 8 --no-time-shifting
+    python -m repro lifecycle
+    python -m repro growth --years 5
+
+``simulate`` builds the same paper-shaped workload the benchmark suite
+uses (diurnal 4.3× peak-to-trough with midnight spike, Table 1 trigger
+mix, Table 3 resource distributions), sizes a fleet for ~70% mean
+utilization, runs it, and prints the Figure 2/7/8-style summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+
+from .analysis import (fleet_utilization_series, peak_to_trough,
+                       quota_cpu_series, received_vs_executed,
+                       region_utilization_averages)
+from .analysis.shapes import complementarity, pearson
+from .baselines import BASELINE_STEPS, baseline_model, xfaas_model
+from .cluster import MachineSpec, size_topology_for_utilization
+from .core import LocalityParams, PlatformParams, SchedulerParams, XFaaS
+from .metrics import format_table, series_block
+from .sim import Simulator
+from .workloads import (ArrivalGenerator, DiurnalRate, build_population,
+                        estimate_demand_minstr, figure3_model)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    horizon_s = args.hours * 3600.0
+    sim = Simulator(seed=args.seed)
+    diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=args.peak_to_trough)
+    population = build_population(
+        n_functions=args.functions, total_rate=args.rate,
+        opportunistic_fraction=args.opportunistic, diurnal=diurnal)
+    machine = MachineSpec(cores=2, core_mips=500, threads=48)
+    demand = estimate_demand_minstr(population, core_mips=machine.core_mips)
+    topology = size_topology_for_utilization(
+        demand, target_utilization=args.target_utilization,
+        n_regions=args.regions, machine_spec=machine)
+    params = PlatformParams(
+        scheduler=SchedulerParams(poll_interval_s=2.0, buffer_capacity=1000,
+                                  runq_capacity=300),
+        locality=LocalityParams(n_groups=args.locality_groups),
+        time_shifting=not args.no_time_shifting,
+        global_dispatch=not args.no_global_dispatch,
+        locality_groups=args.locality_groups > 1,
+    )
+    platform = XFaaS(sim, topology, params)
+    for spec in population.specs:
+        platform.register_function(spec)
+    ArrivalGenerator(sim, population,
+                     lambda spec, delay: platform.submit(
+                         spec.name, start_delay_s=delay),
+                     tick_s=20.0, stop_at=horizon_s)
+
+    print(f"simulating {args.hours} h, {args.rate} calls/s mean, "
+          f"{topology.total_workers('default')} workers over "
+          f"{args.regions} regions ...", flush=True)
+    sim.run_until(horizon_s)
+
+    received, executed = received_vs_executed(platform, 0, horizon_s)
+    utils = region_utilization_averages(platform, min(3600.0, horizon_s / 4),
+                                        horizon_s)
+    fleet = [v for _, v in fleet_utilization_series(
+        platform, min(3600.0, horizon_s / 4), horizon_s, 600.0)]
+
+    print()
+    print(series_block("received per minute", received))
+    print()
+    print(series_block("executed per minute", executed))
+    print()
+    rows = [[r, f"{100 * u:.1f}%"] for r, u in sorted(utils.items())]
+    rows.append(["FLEET MEAN",
+                 f"{100 * statistics.mean(utils.values()):.1f}%"])
+    print(format_table(["region", "avg CPU utilization"], rows))
+    print()
+    reserved, opportunistic = quota_cpu_series(platform, 0, horizon_s)
+    if sum(opportunistic) > 0 and len(reserved) >= 4:
+        k = max(1, len(reserved) // 48)
+        bucket = lambda xs: [sum(xs[i:i + k])
+                             for i in range(0, len(xs), k)]
+        r_b, o_b = bucket(reserved), bucket(opportunistic)
+        print(f"reserved/opportunistic CPU correlation: "
+              f"{pearson(r_b, o_b):.3f} "
+              f"(complementarity {complementarity(r_b, o_b):.3f})")
+    print(f"submitted {platform.submitted_count}, "
+          f"completed {platform.completed_count()}, "
+          f"still queued {platform.pending_backlog()}")
+    if fleet:
+        print(f"fleet utilization: mean "
+              f"{statistics.mean(fleet):.3f}, "
+              f"peak-to-trough {peak_to_trough(fleet, 0.02):.2f}x "
+              f"(paper: 66% mean, 1.4x)")
+    return 0
+
+
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    rows = [[n, name, cost] for n, name, cost in BASELINE_STEPS]
+    print(format_table(["step", "name", "baseline cost (s)"], rows,
+                       title="Figure 1 — function lifecycle"))
+    print()
+    base = baseline_model().breakdown(args.execute_s, cold=True)
+    xf = xfaas_model().breakdown(args.execute_s, cold=True)
+    print(format_table(
+        ["platform", "startup (s)", "idle+shutdown (s)", "billable %"],
+        [["conventional (cold)", base.startup_overhead_s,
+          base.idle_overhead_s + base.shutdown_s,
+          100 * base.billable_fraction],
+         ["XFaaS", xf.startup_overhead_s,
+          xf.idle_overhead_s + xf.shutdown_s,
+          100 * xf.billable_fraction]]))
+    return 0
+
+
+def _cmd_growth(args: argparse.Namespace) -> int:
+    model = figure3_model()
+    days = args.years * 365
+    from .metrics import sparkline
+    series = [v for _, v in model.series(days=days, step_days=30)]
+    print("Figure 3 — normalized daily invocations")
+    print("  " + sparkline(series))
+    print(f"  growth over {args.years} years: "
+          f"{model.growth_factor(days):.1f}x (paper: ~50x in 5 years)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XFaaS (SOSP 2023) reproduction — simulation CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim_p = sub.add_parser("simulate",
+                           help="run a paper-shaped workload simulation")
+    sim_p.add_argument("--hours", type=float, default=6.0)
+    sim_p.add_argument("--rate", type=float, default=4.0,
+                       help="mean submissions/s across all functions")
+    sim_p.add_argument("--functions", type=int, default=60)
+    sim_p.add_argument("--regions", type=int, default=4)
+    sim_p.add_argument("--seed", type=int, default=7)
+    sim_p.add_argument("--peak-to-trough", type=float, default=4.3)
+    sim_p.add_argument("--opportunistic", type=float, default=0.6,
+                       help="fraction of eligible functions on "
+                            "opportunistic quota")
+    sim_p.add_argument("--target-utilization", type=float, default=0.70)
+    sim_p.add_argument("--locality-groups", type=int, default=3)
+    sim_p.add_argument("--no-time-shifting", action="store_true")
+    sim_p.add_argument("--no-global-dispatch", action="store_true")
+    sim_p.set_defaults(func=_cmd_simulate)
+
+    life_p = sub.add_parser("lifecycle",
+                            help="print the Figure 1 lifecycle cost table")
+    life_p.add_argument("--execute-s", type=float, default=1.0)
+    life_p.set_defaults(func=_cmd_lifecycle)
+
+    growth_p = sub.add_parser("growth",
+                              help="print the Figure 3 growth curve")
+    growth_p.add_argument("--years", type=int, default=5)
+    growth_p.set_defaults(func=_cmd_growth)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

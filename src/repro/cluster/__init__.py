@@ -1,0 +1,18 @@
+"""Cluster substrate: machines, regions, network, topology."""
+
+from .machine import CpuAccount, MachineSpec
+from .network import NetworkModel
+from .region import Region
+from .topology import (FIG5_RELATIVE_CAPACITY, Topology, build_topology,
+                       size_topology_for_utilization)
+
+__all__ = [
+    "CpuAccount",
+    "FIG5_RELATIVE_CAPACITY",
+    "MachineSpec",
+    "NetworkModel",
+    "Region",
+    "Topology",
+    "build_topology",
+    "size_topology_for_utilization",
+]

@@ -1,0 +1,106 @@
+"""Hardware model of a worker machine.
+
+The paper's workers are physical servers with 64 GB of memory (§5.2)
+hosting an always-on language runtime.  CPU is accounted in millions of
+instructions per second per core, matching the paper's use of "MIPS" as
+the per-call CPU-usage metric (§3.2): a call carrying ``cpu_minstr``
+million instructions consumes ``cpu_minstr / core_mips`` core-seconds.
+
+Calls are mostly IO-bound (Table 3: event-triggered calls carry ~11 M
+instructions but run for hundreds of milliseconds), so a running call
+contributes a *fractional* CPU load — its core-seconds spread over its
+wall-clock duration.  :class:`CpuAccount` integrates that load over time
+to produce the utilization numbers of Figures 7/8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a worker machine's hardware."""
+
+    cores: int = 32
+    core_mips: float = 4000.0     # million instructions / second / core
+    memory_mb: float = 64 * 1024  # paper §5.2: workers have 64 GB
+    ssd_gb: float = 512.0
+    threads: int = 256            # concurrent calls one runtime process holds
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+        if self.core_mips <= 0:
+            raise ValueError(f"core_mips must be positive, got {self.core_mips}")
+        if self.memory_mb <= 0:
+            raise ValueError(f"memory_mb must be positive, got {self.memory_mb}")
+        if self.threads <= 0:
+            raise ValueError(f"threads must be positive, got {self.threads}")
+
+    @property
+    def total_mips(self) -> float:
+        """Aggregate instruction throughput of the machine."""
+        return self.cores * self.core_mips
+
+
+@dataclass
+class CpuAccount:
+    """Integrates fractional CPU load over time into utilization.
+
+    A call that needs ``c`` core-seconds over a duration ``d`` adds load
+    ``c/d`` while running.  Utilization over a window is accumulated
+    core-seconds divided by ``cores × window`` — the quantity plotted in
+    the paper's Figures 7 and 8.
+    """
+
+    cores: int
+    busy_core_seconds: float = 0.0
+    load: float = field(default=0.0)
+    _last_change: float = field(default=0.0, repr=False)
+    _window_start: float = field(default=0.0, repr=False)
+    _window_busy: float = field(default=0.0, repr=False)
+
+    def on_start(self, now: float, load: float) -> None:
+        """A call contributing ``load`` cores began running."""
+        if load < 0:
+            raise ValueError(f"load must be >= 0, got {load}")
+        self._settle(now)
+        self.load += load
+
+    def on_finish(self, now: float, load: float) -> None:
+        """A call contributing ``load`` cores finished."""
+        self._settle(now)
+        self.load -= load
+        if self.load < -1e-9:
+            raise RuntimeError(f"cpu load went negative: {self.load}")
+        self.load = max(self.load, 0.0)
+
+    def _settle(self, now: float) -> None:
+        elapsed = now - self._last_change
+        if elapsed > 0:
+            # Load can transiently exceed core count in the model (queued
+            # CPU); utilization is capped at 100% like a real machine.
+            effective = min(self.load, float(self.cores))
+            delta = effective * elapsed
+            self.busy_core_seconds += delta
+            self._window_busy += delta
+            self._last_change = now
+
+    def utilization_total(self, now: float) -> float:
+        """Utilization since account creation (t=0)."""
+        self._settle(now)
+        if now <= 0:
+            return 0.0
+        return min(1.0, self.busy_core_seconds / (self.cores * now))
+
+    def take_window(self, now: float) -> float:
+        """Utilization since the last take_window call (rolling windows)."""
+        self._settle(now)
+        span = now - self._window_start
+        util = 0.0
+        if span > 0:
+            util = min(1.0, self._window_busy / (self.cores * span))
+        self._window_start = now
+        self._window_busy = 0.0
+        return util

@@ -1,0 +1,42 @@
+"""Datacenter regions and their worker-pool capacity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .machine import MachineSpec
+
+
+@dataclass
+class Region:
+    """A datacenter region hosting XFaaS worker pools.
+
+    Paper §2.3: hardware within a region is fungible; capacity across
+    regions is wildly uneven (Fig 5), which forces cross-region load
+    balancing.  ``worker_counts`` maps namespace name → number of worker
+    machines dedicated to that namespace in this region (worker pools
+    are per-namespace, §4.5).
+    """
+
+    name: str
+    worker_counts: Dict[str, int] = field(default_factory=dict)
+    machine_spec: MachineSpec = field(default_factory=MachineSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("region name must be non-empty")
+        for ns, count in self.worker_counts.items():
+            if count < 0:
+                raise ValueError(
+                    f"negative worker count for namespace {ns!r}: {count}")
+
+    def workers_for(self, namespace: str) -> int:
+        return self.worker_counts.get(namespace, 0)
+
+    def total_workers(self) -> int:
+        return sum(self.worker_counts.values())
+
+    def capacity_mips(self, namespace: str) -> float:
+        """Aggregate instruction throughput of one namespace's pool here."""
+        return self.workers_for(namespace) * self.machine_spec.total_mips

@@ -1,0 +1,80 @@
+"""XFaaS core: every component of the paper's Figure 6."""
+
+from .call import CallOutcome, CallState, FunctionCall
+from .codedeploy import CodeDeployer, CodeVersion, RolloutParams
+from .config import CachedConfig, ConfigStore
+from .congestion import CongestionController, CongestionParams
+from .durableq import DurableQ
+from .funcbuffer import FuncBuffer
+from .gtc import (GlobalTrafficConductor, GtcParams, TrafficMatrix,
+                  compute_traffic_matrix)
+from .isolation import (IsolationViolation, Namespace, NamespaceRegistry,
+                        check_flow, flow_allowed)
+from .jit import JitParams, RuntimeJit
+from .kvstore import DistributedKVStore, KVStoreParams
+from .locality import LocalityOptimizer, LocalityParams
+from .platform import PlatformParams, XFaaS
+from .queuelb import (QueueLB, ROUTING_KEY, capacity_proportional_routing,
+                      local_only_routing)
+from .ratelimiter import CentralRateLimiter, ClientRateLimiter, TokenBucket
+from .rim import Rim
+from .runq import RunQ
+from .scheduler import (S_MULTIPLIER_KEY, TRAFFIC_MATRIX_KEY, Scheduler,
+                        SchedulerParams)
+from .submitter import Submitter, SubmitterFrontend, SubmitterParams
+from .utilization import UtilizationController, UtilizationParams
+from .worker import Worker, WorkerParams
+from .workerlb import WorkerLB
+
+__all__ = [
+    "CachedConfig",
+    "CallOutcome",
+    "CallState",
+    "CentralRateLimiter",
+    "ClientRateLimiter",
+    "CodeDeployer",
+    "CodeVersion",
+    "ConfigStore",
+    "CongestionController",
+    "CongestionParams",
+    "DurableQ",
+    "FuncBuffer",
+    "FunctionCall",
+    "GlobalTrafficConductor",
+    "GtcParams",
+    "IsolationViolation",
+    "DistributedKVStore",
+    "JitParams",
+    "KVStoreParams",
+    "LocalityOptimizer",
+    "LocalityParams",
+    "Namespace",
+    "NamespaceRegistry",
+    "PlatformParams",
+    "QueueLB",
+    "ROUTING_KEY",
+    "Rim",
+    "RolloutParams",
+    "RunQ",
+    "RuntimeJit",
+    "S_MULTIPLIER_KEY",
+    "Scheduler",
+    "SchedulerParams",
+    "Submitter",
+    "SubmitterFrontend",
+    "SubmitterParams",
+    "TRAFFIC_MATRIX_KEY",
+    "TokenBucket",
+    "TrafficMatrix",
+    "UtilizationController",
+    "UtilizationParams",
+    "Worker",
+    "WorkerLB",
+    "WorkerParams",
+    "XFaaS",
+    "capacity_proportional_routing",
+    "check_flow",
+    "compute_traffic_matrix",
+    "flow_allowed",
+    "local_only_routing",
+]

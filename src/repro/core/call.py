@@ -1,0 +1,104 @@
+"""Function-call records and lifecycle state.
+
+A :class:`FunctionCall` is created at submission and carries its
+lifecycle timestamps through the pipeline of Figure 6: submitter →
+QueueLB → DurableQ → scheduler (FuncBuffer → RunQ) → WorkerLB → worker.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..workloads.spec import FunctionSpec
+
+_call_ids = itertools.count(1)
+
+
+class CallState(enum.Enum):
+    """Where a call currently is in the Figure 6 pipeline."""
+
+    SUBMITTED = "submitted"
+    QUEUED = "queued"          # persisted in a DurableQ
+    BUFFERED = "buffered"      # leased into a scheduler FuncBuffer
+    RUNNABLE = "runnable"      # in the RunQ
+    RUNNING = "running"        # executing on a worker
+    COMPLETED = "completed"
+    FAILED = "failed"
+    THROTTLED = "throttled"    # rejected at submission by rate limiting
+    EXPIRED = "expired"
+
+
+class CallOutcome(enum.Enum):
+    """Terminal result of one execution attempt."""
+
+    OK = "ok"
+    ERROR = "error"
+    BACKPRESSURE = "backpressure"
+    WORKER_FULL = "worker_full"
+    ISOLATION_DENIED = "isolation_denied"
+
+
+@dataclass
+class FunctionCall:
+    """One invocation travelling through the platform."""
+
+    spec: FunctionSpec
+    submit_time: float
+    #: Caller-requested execution start time (§4.6: may be the future).
+    start_time: float
+    region_submitted: str
+    #: Bell–LaPadula classification level of the call's arguments (§4.7).
+    source_level: int = 0
+    args_size_kb: float = 4.0
+    call_id: int = field(default_factory=lambda: next(_call_ids))
+    state: CallState = CallState.SUBMITTED
+    attempts: int = 0
+
+    # Filled in as the call progresses.
+    durableq_region: Optional[str] = None
+    scheduler_region: Optional[str] = None
+    dispatch_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    worker_name: Optional[str] = None
+    outcome: Optional[CallOutcome] = None
+    #: Sampled per-invocation resources (cpu_minstr, memory_mb, exec_s);
+    #: sampled once at first dispatch so retries replay the same demand.
+    resources: Optional[Tuple[float, float, float]] = None
+    #: True when the submitter spilled oversized args to the KV store.
+    args_spilled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.start_time < self.submit_time:
+            raise ValueError(
+                f"start_time {self.start_time} precedes submit_time "
+                f"{self.submit_time}")
+        if self.args_size_kb < 0:
+            raise ValueError("args_size_kb must be >= 0")
+
+    @property
+    def function_name(self) -> str:
+        return self.spec.name
+
+    @property
+    def deadline_time(self) -> float:
+        """Absolute completion deadline (§2.4): start time + deadline."""
+        return self.start_time + self.spec.deadline_s
+
+    @property
+    def criticality(self) -> int:
+        return int(self.spec.criticality)
+
+    def is_ready(self, now: float) -> bool:
+        """Past its requested execution start time."""
+        return now >= self.start_time
+
+    def sort_key(self) -> Tuple[float, float, int]:
+        """FuncBuffer order (§4.4): criticality first, then deadline.
+
+        Returns a tuple for a *min*-heap: higher criticality and earlier
+        deadline come first; call id breaks ties deterministically.
+        """
+        return (-self.criticality, self.deadline_time, self.call_id)

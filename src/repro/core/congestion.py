@@ -1,0 +1,198 @@
+"""Adaptive concurrency control protecting downstream services (§4.6.3).
+
+Three cooperating mechanisms, per function:
+
+* **AIMD rate control** — downstream services throw back-pressure
+  exceptions when overloaded.  When a function's exceptions per minute
+  exceed the service's threshold, its RPS limit is cut multiplicatively
+  (``r ← r·M``); windows free of back-pressure raise it additively
+  (``r ← r + I``).  The paper's production threshold example is 5,000
+  exceptions/min for the largest services.
+* **Concurrency limit** — a per-function cap on simultaneously running
+  instances (safety net for services that do not emit back-pressure).
+* **Slow start** — when a function's call volume is above ``T`` calls
+  per window ``W``, its dispatch volume may grow at most ``α`` per
+  window, giving downstream caches/autoscalers time to warm up.
+  Production values: W = 1 min, T = 100 calls, α = 20%.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..workloads.spec import FunctionSpec
+from .ratelimiter import TokenBucket
+
+
+@dataclass(frozen=True)
+class CongestionParams:
+    """Tunables of §4.6.3 with the paper's production defaults."""
+
+    multiplicative_decrease: float = 0.5   # M
+    additive_increase_rps: float = 10.0    # I, per adjustment window
+    adjust_window_s: float = 60.0
+    backpressure_threshold_per_min: float = 100.0
+    slow_start_window_s: float = 60.0      # W
+    slow_start_threshold_calls: float = 100.0  # T
+    slow_start_growth: float = 0.20        # α
+    initial_rps: float = 1.0e9             # effectively uncapped until AIMD engages
+    min_rps: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0 < self.multiplicative_decrease < 1:
+            raise ValueError("multiplicative_decrease must be in (0, 1)")
+        if self.additive_increase_rps <= 0:
+            raise ValueError("additive_increase_rps must be positive")
+        if self.slow_start_growth <= 0:
+            raise ValueError("slow_start_growth must be positive")
+
+
+@dataclass
+class _FunctionState:
+    spec: FunctionSpec
+    rps_limit: float
+    bucket: TokenBucket
+    running: int = 0
+    #: Back-pressure exceptions per downstream service this window.
+    window_exceptions: Dict[str, float] = field(default_factory=dict)
+    #: Dispatches in the current and previous slow-start windows.
+    window_dispatches: float = 0.0
+    prev_window_dispatches: float = 0.0
+    aimd_engaged: bool = False
+
+
+class CongestionController:
+    """Per-function AIMD + concurrency limit + slow start."""
+
+    def __init__(self, params: Optional[CongestionParams] = None) -> None:
+        self.params = params or CongestionParams()
+        self._functions: Dict[str, _FunctionState] = {}
+        #: Per-service back-pressure thresholds (exceptions/min), set by
+        #: service owners (§4.6.3); falls back to the params default.
+        self._service_thresholds: Dict[str, float] = {}
+        self.decrease_count = 0
+        self.increase_count = 0
+        self.slow_start_denials = 0
+        self.concurrency_denials = 0
+        self.rate_denials = 0
+
+    # ------------------------------------------------------------------
+    def register(self, spec: FunctionSpec) -> None:
+        if spec.name in self._functions:
+            return
+        p = self.params
+        self._functions[spec.name] = _FunctionState(
+            spec=spec, rps_limit=p.initial_rps,
+            bucket=TokenBucket(rate=p.initial_rps, burst_s=1.0))
+
+    def set_service_threshold(self, service: str,
+                              exceptions_per_min: float) -> None:
+        if exceptions_per_min <= 0:
+            raise ValueError("threshold must be positive")
+        self._service_thresholds[service] = exceptions_per_min
+
+    # ------------------------------------------------------------------
+    # Dispatch-time gates
+    # ------------------------------------------------------------------
+    def can_dispatch(self, name: str, now: float) -> bool:
+        """All three gates; consumes a rate token when allowed."""
+        st = self._require(name)
+        limit = st.spec.concurrency_limit
+        if limit is not None and st.running >= limit:
+            self.concurrency_denials += 1
+            return False
+        if not self._slow_start_allows(st):
+            self.slow_start_denials += 1
+            return False
+        st.bucket.set_rate(now, st.rps_limit)
+        if not st.bucket.try_take(now):
+            self.rate_denials += 1
+            return False
+        return True
+
+    def _slow_start_allows(self, st: _FunctionState) -> bool:
+        p = self.params
+        allowance = max(p.slow_start_threshold_calls,
+                        st.prev_window_dispatches * (1.0 + p.slow_start_growth))
+        return st.window_dispatches < allowance
+
+    def on_dispatch(self, name: str) -> None:
+        st = self._require(name)
+        st.running += 1
+        st.window_dispatches += 1
+
+    def cancel_dispatch(self, name: str) -> None:
+        """Undo on_dispatch for a call that could not be placed."""
+        st = self._require(name)
+        if st.running > 0:
+            st.running -= 1
+        st.window_dispatches = max(0.0, st.window_dispatches - 1.0)
+
+    def on_finish(self, name: str) -> None:
+        st = self._require(name)
+        if st.running <= 0:
+            raise RuntimeError(f"on_finish without dispatch for {name!r}")
+        st.running -= 1
+
+    def on_backpressure(self, name: str, service: str, n: float = 1.0) -> None:
+        """A downstream ``service`` threw ``n`` back-pressure exceptions."""
+        st = self._require(name)
+        st.window_exceptions[service] = st.window_exceptions.get(service, 0.0) + n
+
+    def running(self, name: str) -> int:
+        return self._require(name).running
+
+    def rps_limit(self, name: str) -> float:
+        return self._require(name).rps_limit
+
+    # ------------------------------------------------------------------
+    # Periodic adjustment (call every adjust_window_s)
+    # ------------------------------------------------------------------
+    def adjust(self, now: float) -> None:
+        """Run one AIMD window for every function and roll slow-start windows."""
+        p = self.params
+        scale = p.adjust_window_s / 60.0
+        for st in self._functions.values():
+            over = any(
+                count > self._service_thresholds.get(
+                    service, p.backpressure_threshold_per_min) * scale
+                for service, count in st.window_exceptions.items())
+            if over:
+                # First decrease anchors the limit to the observed rate so
+                # the cut bites immediately rather than decaying from the
+                # uncapped initial limit.
+                if not st.aimd_engaged:
+                    observed_rps = st.window_dispatches / p.adjust_window_s
+                    st.rps_limit = max(observed_rps, p.min_rps)
+                    st.aimd_engaged = True
+                st.rps_limit = max(
+                    st.rps_limit * p.multiplicative_decrease, p.min_rps)
+                self.decrease_count += 1
+            elif st.aimd_engaged:
+                st.rps_limit = st.rps_limit + p.additive_increase_rps
+                self.increase_count += 1
+                if st.rps_limit >= p.initial_rps:
+                    st.rps_limit = p.initial_rps
+                    st.aimd_engaged = False
+            st.window_exceptions.clear()
+            st.prev_window_dispatches = st.window_dispatches
+            st.window_dispatches = 0.0
+
+    # ------------------------------------------------------------------
+    def max_concurrency_estimate(self, name: str,
+                                 exec_time_s: float) -> float:
+        """§4.6.3's R = r × p estimate of concurrent instances."""
+        st = self._require(name)
+        r = st.rps_limit
+        if math.isinf(r):
+            return math.inf
+        return r * exec_time_s
+
+    def _require(self, name: str) -> _FunctionState:
+        st = self._functions.get(name)
+        if st is None:
+            raise KeyError(
+                f"function {name!r} not registered with congestion controller")
+        return st

@@ -1,0 +1,100 @@
+"""Namespaces and Bell–LaPadula data isolation (§2.4, §4.7).
+
+* A **namespace** is a strongly isolated environment: one runtime, a
+  dedicated worker pool, and a set of functions.  Functions needing
+  strong security/performance isolation go to different namespaces
+  (physical isolation).
+* Within a namespace, multiple functions share a Linux process; data
+  isolation follows **Bell–LaPadula**: data may only flow from lower to
+  higher classification levels.  A call whose arguments come from
+  isolation zone ``source_level`` may execute in a function whose zone
+  is ``execution_level`` iff ``source_level <= execution_level``.
+  Both the scheduler and the worker enforce the check (§4.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..workloads.spec import FunctionSpec
+
+
+class IsolationViolation(Exception):
+    """A call's argument flow would violate the Bell–LaPadula policy."""
+
+
+@dataclass(frozen=True)
+class Namespace:
+    """A strongly isolated environment: runtime + dedicated worker pool."""
+
+    name: str
+    runtime: str = "php"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("namespace name must be non-empty")
+
+
+def flow_allowed(source_level: int, execution_level: int) -> bool:
+    """Bell–LaPadula: data flows only from lower to higher levels."""
+    return source_level <= execution_level
+
+
+def check_flow(source_level: int, execution_level: int,
+               function_name: str = "?") -> None:
+    """Raise :class:`IsolationViolation` when the flow is not allowed."""
+    if not flow_allowed(source_level, execution_level):
+        raise IsolationViolation(
+            f"arguments at level {source_level} may not flow into function "
+            f"{function_name!r} executing at level {execution_level}")
+
+
+class NamespaceRegistry:
+    """Tracks namespaces and the functions assigned to them.
+
+    Enforces the §2.4 invariants: a function belongs to exactly one
+    namespace; each namespace supports exactly one runtime.
+    """
+
+    def __init__(self) -> None:
+        self._namespaces: Dict[str, Namespace] = {}
+        self._functions: Dict[str, str] = {}  # function name → namespace
+
+    def create(self, name: str, runtime: str = "php") -> Namespace:
+        if name in self._namespaces:
+            existing = self._namespaces[name]
+            if existing.runtime != runtime:
+                raise ValueError(
+                    f"namespace {name!r} already exists with runtime "
+                    f"{existing.runtime!r}")
+            return existing
+        ns = Namespace(name=name, runtime=runtime)
+        self._namespaces[name] = ns
+        return ns
+
+    def assign(self, spec: FunctionSpec) -> Namespace:
+        """Assign a function to its namespace (creating a default one)."""
+        ns = self._namespaces.get(spec.namespace)
+        if ns is None:
+            ns = self.create(spec.namespace)
+        existing = self._functions.get(spec.name)
+        if existing is not None and existing != spec.namespace:
+            raise ValueError(
+                f"function {spec.name!r} already belongs to namespace "
+                f"{existing!r}; cannot also join {spec.namespace!r}")
+        self._functions[spec.name] = spec.namespace
+        return ns
+
+    def namespace_of(self, function_name: str) -> str:
+        ns = self._functions.get(function_name)
+        if ns is None:
+            raise KeyError(f"function {function_name!r} not assigned")
+        return ns
+
+    def namespaces(self) -> List[Namespace]:
+        return list(self._namespaces.values())
+
+    def functions_in(self, namespace: str) -> List[str]:
+        return sorted(f for f, ns in self._functions.items()
+                      if ns == namespace)

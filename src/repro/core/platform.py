@@ -1,0 +1,415 @@
+"""The XFaaS platform façade: builds and wires every Figure 6 component.
+
+This is the main public entry point of the reproduction:
+
+    from repro import XFaaS, PlatformParams
+    from repro.cluster import build_topology
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=42)
+    platform = XFaaS(sim, build_topology(n_regions=4))
+    platform.register_function(spec)
+    platform.submit(spec.name)
+    sim.run_until(3600)
+
+Feature flags on :class:`PlatformParams` switch individual paper
+techniques off for the ablation benchmarks (time-shifting, global
+dispatch, locality groups, cooperative JIT, AIMD back-pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from ..cluster.topology import Topology
+from ..downstream.service import ServiceRegistry
+from ..metrics.recorder import MetricsRegistry
+from ..sim.kernel import Simulator
+from ..workloads.spec import FunctionSpec, QuotaType
+from ..workloads.trace import CallTrace, TraceLog
+from .call import CallOutcome, FunctionCall
+from .codedeploy import CodeDeployer, RolloutParams
+from .config import ConfigStore
+from .congestion import CongestionController, CongestionParams
+from .durableq import DurableQ
+from .gtc import GlobalTrafficConductor, GtcParams
+from .isolation import NamespaceRegistry
+from .jit import JitParams
+from .kvstore import DistributedKVStore
+from .locality import LocalityOptimizer, LocalityParams
+from .queuelb import (QueueLB, ROUTING_KEY,
+                      capacity_proportional_routing)
+from .ratelimiter import CentralRateLimiter, ClientRateLimiter
+from .rim import Rim
+from .scheduler import S_MULTIPLIER_KEY, Scheduler, SchedulerParams
+from .submitter import Submitter, SubmitterFrontend, SubmitterParams
+from .utilization import UtilizationController, UtilizationParams
+from .worker import Worker, WorkerParams
+from .workerlb import WorkerLB
+
+
+@dataclass(frozen=True)
+class PlatformParams:
+    """All tunables plus ablation feature flags."""
+
+    namespace: str = "default"
+    durableq_shards_per_region: int = 2
+    scheduler: SchedulerParams = field(default_factory=SchedulerParams)
+    worker: WorkerParams = field(default_factory=WorkerParams)
+    jit: JitParams = field(default_factory=JitParams)
+    locality: LocalityParams = field(default_factory=LocalityParams)
+    congestion: CongestionParams = field(default_factory=CongestionParams)
+    utilization: UtilizationParams = field(default_factory=UtilizationParams)
+    gtc: GtcParams = field(default_factory=GtcParams)
+    submitter: SubmitterParams = field(default_factory=SubmitterParams)
+    rollout: RolloutParams = field(default_factory=RolloutParams)
+    #: When set, publish a §4.3 storage routing policy blending this
+    #: much regional locality with DurableQ-capacity-proportional spread
+    #: (None keeps the default submit-locally policy).
+    queuelb_locality_bias: Optional[float] = None
+    config_propagation_s: float = 5.0
+    rim_sample_interval_s: float = 60.0
+    #: Hourly window for the Fig 9 distinct-functions metric.
+    distinct_window_s: float = 3600.0
+    memory_sample_interval_s: float = 60.0
+    collect_traces: bool = True
+    start_code_deployer: bool = False
+
+    # Ablation flags (§1.2 techniques).
+    time_shifting: bool = True
+    global_dispatch: bool = True
+    locality_groups: bool = True
+    cooperative_jit: bool = True
+    aimd: bool = True
+
+
+class XFaaS:
+    """One namespace's XFaaS deployment across a topology."""
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 params: PlatformParams = PlatformParams(),
+                 services: Optional[ServiceRegistry] = None) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.params = params
+        self.metrics = MetricsRegistry()
+        self.traces = TraceLog()
+        self.services = services or ServiceRegistry()
+        self.namespaces = NamespaceRegistry()
+        self.config = ConfigStore(sim, params.config_propagation_s)
+        self.rate_limiter = CentralRateLimiter()
+        self.client_limiter = ClientRateLimiter()
+        self.kvstore = DistributedKVStore(sim)
+        self.congestion = CongestionController(params.congestion)
+        self._specs: Dict[str, FunctionSpec] = {}
+
+        ns = params.namespace
+        self.namespaces.create(ns)
+        regions = topology.region_names
+
+        # --- Stateful storage: sharded DurableQs per region -----------
+        self.durableqs_by_region: Dict[str, List[DurableQ]] = {}
+        for r in regions:
+            shards = [DurableQ(sim, name=f"dq/{r}/{i}", region=r)
+                      for i in range(params.durableq_shards_per_region)]
+            self.durableqs_by_region[r] = shards
+
+        # --- Controllers (off the critical path) ----------------------
+        self.rim = Rim(sim, self.metrics, params.rim_sample_interval_s)
+        self.locality_optimizer = LocalityOptimizer(
+            sim, self.config, params.locality,
+            enabled=params.locality_groups, namespace=ns)
+        self.gtc = GlobalTrafficConductor(
+            sim, self.rim, self.config, topology.network, params.gtc,
+            enabled=params.global_dispatch)
+        self.utilization_controller = UtilizationController(
+            sim, self.rim, self.config, params.utilization)
+        self.deployer = CodeDeployer(sim, params.rollout, params.jit,
+                                     cooperative_jit=params.cooperative_jit)
+        if not params.time_shifting:
+            # Ablation: opportunistic functions are not deferred — their
+            # elastic limit is pinned wide open.
+            self.config.publish(S_MULTIPLIER_KEY, 1.0e9)
+        if params.queuelb_locality_bias is not None:
+            # §4.3: balance the *storage* load across regions' DurableQs.
+            shards = {r: len(qs) for r, qs in self.durableqs_by_region.items()}
+            self.config.publish(ROUTING_KEY, capacity_proportional_routing(
+                regions, shards, locality_bias=params.queuelb_locality_bias))
+
+        # --- Per-region pipeline --------------------------------------
+        self.workers_by_region: Dict[str, List[Worker]] = {}
+        self.workerlbs: Dict[str, WorkerLB] = {}
+        self.schedulers: Dict[str, Scheduler] = {}
+        self.frontends: Dict[str, SubmitterFrontend] = {}
+        self.queuelbs: Dict[str, QueueLB] = {}
+
+        for r in regions:
+            n_workers = topology.region(r).workers_for(ns)
+            machine = topology.region(r).machine_spec
+            workers = []
+            for w in range(n_workers):
+                worker = Worker(
+                    sim, name=f"{r}/{ns}/w{w:03d}", region=r, namespace=ns,
+                    machine=machine, params=params.worker,
+                    jit_params=params.jit,
+                    downstream_gateway=self._invoke_downstream)
+                self.locality_optimizer.register_worker(worker)
+                self.deployer.register_worker(worker)
+                workers.append(worker)
+            self.workers_by_region[r] = workers
+            self.rim.register_workers(r, workers)
+            self.rim.register_durableqs(r, self.durableqs_by_region[r])
+
+            workerlb = WorkerLB(
+                sim, r, workers,
+                group_of_function=self.locality_optimizer.group_of,
+                n_groups_fn=lambda: self.locality_optimizer.n_groups)
+            self.workerlbs[r] = workerlb
+
+            scheduler = Scheduler(
+                sim, r, self.durableqs_by_region, workerlb,
+                self.rate_limiter, self.congestion, self.config,
+                params.scheduler, on_done=self._on_done)
+            self.schedulers[r] = scheduler
+            self.rim.register_scheduler(r, scheduler)
+            for worker in workers:
+                worker.on_finish = scheduler.on_call_finished
+
+            queuelb = QueueLB(sim, r, self.durableqs_by_region, self.config)
+            self.queuelbs[r] = queuelb
+            normal = Submitter(sim, r, queuelb, self.client_limiter,
+                               params.submitter, pool="normal",
+                               on_throttle=self._on_throttle,
+                               kvstore=self.kvstore)
+            spiky = Submitter(sim, r, queuelb, self.client_limiter,
+                              params.submitter, pool="spiky",
+                              on_throttle=self._on_throttle,
+                              kvstore=self.kvstore)
+            self.frontends[r] = SubmitterFrontend(normal, spiky)
+
+        # --- Start controllers & samplers -----------------------------
+        self.rim.start()
+        self.gtc.start()
+        if params.time_shifting:
+            self.utilization_controller.start()
+        self.locality_optimizer.start()
+        if params.start_code_deployer:
+            self.deployer.start()
+        sim.every(params.congestion.adjust_window_s,
+                  lambda: self.congestion.adjust(sim.now))
+        sim.every(params.distinct_window_s, self._sample_distinct_functions,
+                  start=params.distinct_window_s)
+        if params.memory_sample_interval_s > 0:
+            sim.every(params.memory_sample_interval_s, self._sample_memory)
+
+        self.submitted_count = 0
+        self.throttled_count = 0
+        self._completion_listeners: List[Callable[[FunctionCall, CallOutcome],
+                                                  None]] = []
+
+    def add_completion_listener(
+            self, listener: Callable[[FunctionCall, CallOutcome],
+                                     None]) -> None:
+        """Invoke ``listener(call, outcome)`` whenever a call finalizes.
+
+        Used by trigger services (orchestration workflows chain the next
+        step off a completion) and by observability tooling.
+        """
+        self._completion_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def register_function(self, spec: FunctionSpec,
+                          expected_cost_minstr: Optional[float] = None) -> None:
+        """Register a function with every subsystem that tracks it."""
+        if spec.name in self._specs:
+            return
+        if spec.namespace != self.params.namespace:
+            raise ValueError(
+                f"function {spec.name!r} belongs to namespace "
+                f"{spec.namespace!r}; this platform hosts "
+                f"{self.params.namespace!r}")
+        self._specs[spec.name] = spec
+        self.namespaces.assign(spec)
+        if expected_cost_minstr is None:
+            # Seed the quota cost prior from the declared profile (the
+            # production analogue: owners size quotas from profiling).
+            expected_cost_minstr = spec.profile.cpu_minstr.mean
+        self.rate_limiter.register(spec, expected_cost_minstr)
+        self.congestion.register(spec)
+        self.locality_optimizer.register_function(spec)
+
+    def add_elastic_pool(self, region: str, n_workers: int,
+                         schedule=None) -> "ElasticPool":
+        """Attach harvested elastic capacity to one region (§5.3 ext.).
+
+        Elastic workers only run opportunistic/low-criticality calls and
+        can be reclaimed mid-execution; interrupted calls are NACKed and
+        retried through the normal at-least-once path.
+        """
+        from .elastic import ElasticPool, ElasticSchedule
+        scheduler = self.schedulers[region]
+        machine = self.topology.region(region).machine_spec
+        kwargs = {"schedule": schedule} if schedule is not None else {}
+        pool = ElasticPool(self.sim, region, n_workers, machine=machine,
+                           params=self.params.worker,
+                           on_finish=scheduler.on_call_finished, **kwargs)
+        self.workerlbs[region].workers.extend(pool.workers)
+        self.workers_by_region[region].extend(pool.workers)
+        self.rim.register_workers(region, pool.workers)
+        for worker in pool.workers:
+            self.locality_optimizer.register_worker(worker)
+            self.deployer.register_worker(worker)
+        return pool
+
+    def register_spiky_client(self, team: str) -> None:
+        """Move a client to the spiky submitter pool in every region."""
+        for frontend in self.frontends.values():
+            frontend.register_spiky_client(team)
+
+    def submit(self, function_name: str, region: Optional[str] = None,
+               start_delay_s: float = 0.0, source_level: int = 0,
+               args_size_kb: float = 4.0) -> Optional[FunctionCall]:
+        """Submit one call; returns the call, or None when throttled."""
+        spec = self._specs.get(function_name)
+        if spec is None:
+            raise KeyError(f"function {function_name!r} is not registered")
+        if start_delay_s < 0:
+            raise ValueError("start_delay_s must be >= 0")
+        region = region or self._pick_client_region()
+        now = self.sim.now
+        call = FunctionCall(spec=spec, submit_time=now,
+                            start_time=now + start_delay_s,
+                            region_submitted=region,
+                            source_level=source_level,
+                            args_size_kb=args_size_kb)
+        self.metrics.counter("calls.received").add(now)
+        self.submitted_count += 1
+        accepted = self.frontends[region].submit(call)
+        return call if accepted else None
+
+    def spec(self, function_name: str) -> FunctionSpec:
+        return self._specs[function_name]
+
+    def functions(self) -> List[str]:
+        return sorted(self._specs)
+
+    @property
+    def all_workers(self) -> List[Worker]:
+        return [w for ws in self.workers_by_region.values() for w in ws]
+
+    def completed_count(self) -> int:
+        return sum(s.completed_count for s in self.schedulers.values())
+
+    def pending_backlog(self) -> int:
+        return sum(self.rim.region_backlog(r)
+                   for r in self.topology.region_names)
+
+    # ------------------------------------------------------------------
+    # Wiring callbacks
+    # ------------------------------------------------------------------
+    def _pick_client_region(self) -> str:
+        rng = self.sim.rng.stream("client-region")
+        if not hasattr(self, "_client_region_weights"):
+            shares = self.topology.capacity_share(self.params.namespace)
+            regions = sorted(shares)
+            self._client_region_weights = (
+                regions, [max(shares[r], 1e-9) for r in regions])
+        regions, weights = self._client_region_weights
+        return rng.weighted_choice(regions, weights)
+
+    def _invoke_downstream(self, call: FunctionCall) -> CallOutcome:
+        outcome = CallOutcome.OK
+        for service_name, n in call.spec.downstream:
+            service = self.services.maybe_get(service_name)
+            if service is None:
+                continue
+            result = service.call(n, caller=call.function_name)
+            if result.exceptions and self.params.aimd:
+                self.congestion.on_backpressure(
+                    call.function_name, service_name, result.exceptions)
+            if result.exceptions:
+                self.metrics.counter(
+                    f"backpressure.{service_name}").add(
+                        self.sim.now, result.exceptions)
+            if result.failures:
+                outcome = CallOutcome.ERROR
+        return outcome
+
+    def _on_done(self, call: FunctionCall, outcome: CallOutcome) -> None:
+        now = self.sim.now
+        if call.args_spilled:
+            # The call finished: its spilled arguments are garbage.
+            self.kvstore.delete(f"args/{call.call_id}")
+        if outcome is CallOutcome.OK and call.dispatch_time is not None:
+            self.metrics.counter("calls.executed").add(call.dispatch_time)
+            if call.resources is not None:
+                cpu = call.resources[0]
+                key = ("cpu.reserved"
+                       if call.spec.quota_type is QuotaType.RESERVED
+                       else "cpu.opportunistic")
+                self.metrics.counter(key).add(call.dispatch_time, cpu)
+            eligible = max(call.submit_time, call.start_time)
+            self.metrics.distribution("latency.queueing").add(
+                max(0.0, call.dispatch_time - eligible))
+            self.metrics.distribution("latency.completion").add(
+                now - call.submit_time)
+        if self.params.collect_traces:
+            self.traces.add(self._trace(call, outcome))
+        for listener in self._completion_listeners:
+            listener(call, outcome)
+
+    def _on_throttle(self, call: FunctionCall) -> None:
+        self.throttled_count += 1
+        self.metrics.counter("calls.throttled").add(self.sim.now)
+        if self.params.collect_traces:
+            self.traces.add(self._trace(call, None, outcome_name="throttled"))
+
+    def _trace(self, call: FunctionCall, outcome: Optional[CallOutcome],
+               outcome_name: Optional[str] = None) -> CallTrace:
+        resources = call.resources or (0.0, 0.0, 0.0)
+        return CallTrace(
+            call_id=call.call_id,
+            function=call.function_name,
+            trigger=call.spec.trigger.value,
+            criticality=call.criticality,
+            quota_type=call.spec.quota_type.value,
+            submit_time=call.submit_time,
+            start_time_requested=call.start_time,
+            dispatch_time=call.dispatch_time if call.dispatch_time is not None
+            else -1.0,
+            finish_time=call.finish_time if call.finish_time is not None
+            else -1.0,
+            region_submitted=call.region_submitted,
+            region_executed=call.scheduler_region or "",
+            worker=call.worker_name or "",
+            outcome=outcome_name or (outcome.value if outcome else "unknown"),
+            cpu_minstr=resources[0],
+            memory_mb=resources[1],
+            exec_time_s=resources[2],
+            attempts=call.attempts + 1,
+        )
+
+    # ------------------------------------------------------------------
+    # Periodic samplers
+    # ------------------------------------------------------------------
+    def _sample_distinct_functions(self) -> None:
+        dist = self.metrics.distribution("worker.distinct_functions_per_window")
+        for worker in self.all_workers:
+            count = worker.take_distinct_functions_window()
+            if worker.calls_started > 0:
+                dist.add(count)
+
+    def _sample_memory(self) -> None:
+        now = self.sim.now
+        dist = self.metrics.distribution("worker.memory_mb")
+        for worker in self.all_workers:
+            dist.add(worker.memory_in_use_mb)
+        # One representative per-worker gauge (Fig 10-style series).
+        first_region = self.topology.region_names[0]
+        workers = self.workers_by_region[first_region]
+        if workers:
+            self.metrics.gauge("worker.sample.memory_mb").set(
+                now, workers[0].memory_in_use_mb)

@@ -1,0 +1,219 @@
+"""Central Rate Limiter: global quotas and RPS limits (§4.6.1).
+
+Every function has an owner-set quota in CPU cycles per second
+(modelled as millions of instructions per second).  The quota is turned
+into a requests-per-second limit by dividing by the function's average
+cost per invocation, tracked as an exponential moving average of
+observed executions.  Usage is aggregated *globally*: all submitters and
+schedulers consult the same limiter, so a function cannot exceed its
+limit by spreading calls across regions.
+
+Opportunistic functions get an *elastic* limit ``r = r0 × S`` where S is
+the Utilization Controller's multiplier (§4.6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..workloads.spec import FunctionSpec, QuotaType
+
+
+@dataclass
+class TokenBucket:
+    """Token bucket whose rate can be re-evaluated at every refill.
+
+    Capacity is floored at ``min_tokens`` (for positive rates) so that
+    low-RPS functions — e.g. a 0.05 RPS limit from a small quota — can
+    still accumulate a whole token and execute at their trickle rate
+    instead of starving forever.
+    """
+
+    rate: float
+    burst_s: float = 10.0
+    min_tokens: float = 1.0
+    tokens: float = 0.0
+    last_refill: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"rate must be >= 0, got {self.rate}")
+        if self.burst_s <= 0:
+            raise ValueError(f"burst_s must be positive, got {self.burst_s}")
+        self.tokens = self.capacity
+
+    @property
+    def capacity(self) -> float:
+        if self.rate <= 0:
+            return 0.0
+        return max(self.rate * self.burst_s, self.min_tokens)
+
+    def refill(self, now: float) -> None:
+        elapsed = now - self.last_refill
+        if elapsed > 0:
+            self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+            self.last_refill = now
+
+    def try_take(self, now: float, n: float = 1.0) -> bool:
+        self.refill(now)
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def set_rate(self, now: float, rate: float) -> None:
+        """Change the bucket's rate, settling accrued tokens first."""
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self.refill(now)
+        self.rate = rate
+        self.tokens = min(self.tokens, self.capacity)
+
+
+@dataclass
+class _FunctionQuota:
+    spec: FunctionSpec
+    prior_cost_minstr: float
+    #: Weight (in samples) given to the registration-time prior.
+    prior_weight: float = 20.0
+    observed_total: float = 0.0
+    observed_count: int = 0
+    bucket: TokenBucket = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.bucket = TokenBucket(rate=self.base_rps)
+
+    @property
+    def avg_cost_minstr(self) -> float:
+        """Prior-weighted cumulative mean of per-call cost.
+
+        Per-call costs are heavy-tailed (Table 3: P99 ≫ mean), so an
+        exponential moving average whips around with every tail sample
+        and — via the harmonic-mean effect on quota ÷ cost — silently
+        strangles the function's RPS limit.  A cumulative mean converges
+        to the true mean and stays stable.
+        """
+        total = self.prior_cost_minstr * self.prior_weight + \
+            self.observed_total
+        count = self.prior_weight + self.observed_count
+        return max(total / count, 1e-9)
+
+    def record(self, cpu_minstr: float) -> None:
+        self.observed_total += max(cpu_minstr, 0.0)
+        self.observed_count += 1
+
+    @property
+    def base_rps(self) -> float:
+        """RPS limit from quota ÷ average per-call cost (§4.6.1)."""
+        return self.spec.quota_minstr_per_s / self.avg_cost_minstr
+
+
+class CentralRateLimiter:
+    """Global per-function RPS limiting from CPU quotas."""
+
+    def __init__(self, initial_cost_minstr: float = 100.0) -> None:
+        if initial_cost_minstr <= 0:
+            raise ValueError("initial_cost_minstr must be positive")
+        self.initial_cost_minstr = initial_cost_minstr
+        self._functions: Dict[str, _FunctionQuota] = {}
+        self.throttle_count = 0
+        self.allow_count = 0
+
+    # ------------------------------------------------------------------
+    def register(self, spec: FunctionSpec,
+                 expected_cost_minstr: Optional[float] = None) -> None:
+        """Register a function; idempotent."""
+        if spec.name in self._functions:
+            return
+        cost = expected_cost_minstr if expected_cost_minstr is not None \
+            else self.initial_cost_minstr
+        self._functions[spec.name] = _FunctionQuota(
+            spec=spec, prior_cost_minstr=max(cost, 1e-9))
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._functions
+
+    def record_cost(self, name: str, cpu_minstr: float) -> None:
+        """Fold one observed execution cost into the per-call average."""
+        fq = self._functions.get(name)
+        if fq is None:
+            return
+        fq.record(cpu_minstr)
+
+    # ------------------------------------------------------------------
+    def rps_limit(self, name: str, s_multiplier: float = 1.0) -> float:
+        """Current RPS limit; opportunistic quota scales by S (§4.6.2)."""
+        fq = self._require(name)
+        if fq.spec.quota_type is QuotaType.OPPORTUNISTIC:
+            return fq.base_rps * max(s_multiplier, 0.0)
+        return fq.base_rps
+
+    def try_acquire(self, name: str, now: float,
+                    s_multiplier: float = 1.0) -> bool:
+        """Take one invocation token; False means throttle/defer."""
+        fq = self._require(name)
+        limit = self.rps_limit(name, s_multiplier)
+        if limit <= 0:
+            # S = 0: opportunistic scheduling is fully stopped (§4.6.2).
+            self.throttle_count += 1
+            return False
+        fq.bucket.set_rate(now, limit)
+        if fq.bucket.try_take(now):
+            self.allow_count += 1
+            return True
+        self.throttle_count += 1
+        return False
+
+    def refund(self, name: str) -> None:
+        """Return one token (the gated dispatch was cancelled)."""
+        fq = self._require(name)
+        fq.bucket.tokens = min(fq.bucket.tokens + 1.0,
+                               max(fq.bucket.capacity, 1.0))
+
+    def avg_cost(self, name: str) -> float:
+        return self._require(name).avg_cost_minstr
+
+    def _require(self, name: str) -> _FunctionQuota:
+        fq = self._functions.get(name)
+        if fq is None:
+            raise KeyError(f"function {name!r} not registered with rate limiter")
+        return fq
+
+
+class ClientRateLimiter:
+    """Submitter-side per-client rate limiting (§4.2).
+
+    Each client (keyed by team) gets a submission-rate bucket; spiky
+    clients that exceed it are throttled unless they have been moved to
+    the spiky submitter pool.
+    """
+
+    def __init__(self, default_rps: float = 1000.0, burst_s: float = 30.0) -> None:
+        if default_rps <= 0:
+            raise ValueError("default_rps must be positive")
+        self.default_rps = default_rps
+        self.burst_s = burst_s
+        self._buckets: Dict[str, TokenBucket] = {}
+        self.throttle_count = 0
+
+    def set_limit(self, client: str, rps: float) -> None:
+        """Replace a client's limit; the bucket restarts full (an
+        operator-granted limit change takes effect immediately)."""
+        if rps < 0:
+            raise ValueError(f"rps must be >= 0, got {rps}")
+        bucket = self._bucket(client)
+        bucket.rate = rps
+        bucket.tokens = bucket.capacity
+
+    def try_acquire(self, client: str, now: float) -> bool:
+        if self._bucket(client).try_take(now):
+            return True
+        self.throttle_count += 1
+        return False
+
+    def _bucket(self, client: str) -> TokenBucket:
+        if client not in self._buckets:
+            self._buckets[client] = TokenBucket(rate=self.default_rps,
+                                                burst_s=self.burst_s)
+        return self._buckets[client]

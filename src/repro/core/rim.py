@@ -1,0 +1,112 @@
+"""RIM: global Resource Isolation and Management metrics (§1.2, §4.6.3).
+
+Rather than letting each component decide from local signals, XFaaS
+collects global metrics across systems — worker utilization per region,
+queue backlog per region, free capacity — and makes them available to
+the central controllers (Global Traffic Conductor, Utilization
+Controller) and benchmarks.
+
+RIM is the *single consumer* of the workers' rolling utilization
+windows: it samples every worker each interval and publishes per-region
+and fleet-wide utilization, which is exactly the quantity in Figures 7
+and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..metrics.recorder import MetricsRegistry
+from ..sim.kernel import Simulator
+from .durableq import DurableQ
+from .scheduler import Scheduler
+from .worker import Worker
+
+
+class Rim:
+    """Fleet-wide metric collection."""
+
+    def __init__(self, sim: Simulator, metrics: MetricsRegistry,
+                 sample_interval_s: float = 60.0) -> None:
+        self.sim = sim
+        self.metrics = metrics
+        self.sample_interval_s = sample_interval_s
+        self._workers_by_region: Dict[str, List[Worker]] = {}
+        self._durableqs_by_region: Dict[str, List[DurableQ]] = {}
+        self._schedulers_by_region: Dict[str, Scheduler] = {}
+        self._region_util: Dict[str, float] = {}
+        self._fleet_util: float = 0.0
+        self._task = None
+
+    # ------------------------------------------------------------------
+    def register_workers(self, region: str, workers: List[Worker]) -> None:
+        self._workers_by_region.setdefault(region, []).extend(workers)
+
+    def register_durableqs(self, region: str, shards: List[DurableQ]) -> None:
+        self._durableqs_by_region.setdefault(region, []).extend(shards)
+
+    def register_scheduler(self, region: str, scheduler: Scheduler) -> None:
+        self._schedulers_by_region[region] = scheduler
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("RIM already started")
+        self._task = self.sim.every(self.sample_interval_s, self.sample,
+                                    start=self.sim.now + self.sample_interval_s)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    # ------------------------------------------------------------------
+    def sample(self) -> None:
+        """Take one utilization window across the fleet."""
+        now = self.sim.now
+        total_busy_fraction = 0.0
+        total_workers = 0
+        for region, workers in sorted(self._workers_by_region.items()):
+            if not workers:
+                continue
+            utils = [w.take_utilization_window() for w in workers]
+            region_util = sum(utils) / len(utils)
+            self._region_util[region] = region_util
+            self.metrics.gauge(f"region.{region}.utilization").set(
+                now, region_util)
+            total_busy_fraction += sum(utils)
+            total_workers += len(utils)
+        if total_workers:
+            self._fleet_util = total_busy_fraction / total_workers
+            self.metrics.gauge("fleet.utilization").set(now, self._fleet_util)
+
+    # ------------------------------------------------------------------
+    # Views consumed by controllers
+    # ------------------------------------------------------------------
+    def fleet_utilization(self) -> float:
+        return self._fleet_util
+
+    def region_utilization(self, region: str) -> float:
+        return self._region_util.get(region, 0.0)
+
+    def region_backlog(self, region: str) -> int:
+        """Ready calls in the region's DurableQs + scheduler buffers."""
+        backlog = sum(q.ready_count() for q
+                      in self._durableqs_by_region.get(region, ()))
+        sched = self._schedulers_by_region.get(region)
+        if sched is not None:
+            backlog += sched.pending_demand
+        return backlog
+
+    def region_capacity(self, region: str) -> float:
+        """Aggregate worker thread capacity (supply proxy for the GTC)."""
+        return float(sum(w.machine.threads for w
+                         in self._workers_by_region.get(region, ())))
+
+    def region_free_threads(self, region: str) -> int:
+        return sum(max(0, w.machine.threads - w.running_count)
+                   for w in self._workers_by_region.get(region, ()))
+
+    def regions(self) -> List[str]:
+        return sorted(set(self._workers_by_region)
+                      | set(self._durableqs_by_region))

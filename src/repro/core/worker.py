@@ -1,0 +1,336 @@
+"""Worker: an always-on runtime executing many functions per process (§4.5).
+
+The universal-worker approximation rests on four properties this class
+implements:
+
+1. **No cold start** — the code of every function in the namespace is
+   already on the worker's SSD (pushed by :class:`CodeDeployer`), and
+   the runtime process is always up.  The first call for a function on a
+   worker pays only a small SSD code-load latency.
+2. **Many functions per Linux process** — concurrent calls of different
+   functions share the runtime, bounded by thread and memory capacity.
+3. **JIT warm-up** — a (re)started runtime ramps to full speed per
+   :class:`RuntimeJit`; cooperative JIT collapses the ramp.
+4. **Bounded resident set** — each function executed on the worker keeps
+   JIT code + caches resident; an LRU budget models the limited memory
+   that motivates locality groups (§4.5.2).
+
+Memory accounting (Fig 10 / §5.2 A/B): worker memory = runtime baseline
++ resident per-function code/JIT + live per-call memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..cluster.machine import CpuAccount, MachineSpec
+from ..sim.kernel import Simulator
+from .call import CallOutcome, FunctionCall
+from .codedeploy import CodeVersion
+from .isolation import flow_allowed
+from .jit import JitParams, RuntimeJit
+
+FinishCallback = Callable[[FunctionCall, CallOutcome], None]
+#: Invoked at call completion with the finishing call; returns the
+#: outcome after downstream effects (OK, or ERROR on downstream failure).
+DownstreamGateway = Callable[[FunctionCall], CallOutcome]
+
+
+@dataclass(frozen=True)
+class WorkerParams:
+    """Worker-level tunables."""
+
+    #: Latency to load a not-yet-resident function's code from local SSD
+    #: (the residual "cold" cost of the universal worker; milliseconds,
+    #: not the seconds of a container cold start).
+    code_load_s: float = 0.100
+    #: Runtime baseline memory (process, shared libs, code cache floor).
+    runtime_baseline_mb: float = 4096.0
+    #: Budget for resident function code + JIT code + per-function
+    #: caches, enforced by LRU eviction.
+    resident_budget_mb: float = 24 * 1024.0
+    #: Resident memory per function ≈ code + JIT code + warm caches.
+    resident_multiplier: float = 3.0
+    #: Refuse admission if projected memory exceeds this fraction of
+    #: physical memory (protection against OOM).
+    memory_headroom: float = 0.92
+    #: Refuse admission if projected CPU load exceeds cores × factor.
+    #: Slightly above 1.0 models OS timesharing: a core-bound call and a
+    #: trickle of light calls coexist with marginal slowdown instead of
+    #: hard bin-packing refusals (which strand ~20% of capacity when
+    #: full-core calls can only land on perfectly idle machines).
+    cpu_admission_factor: float = 1.15
+    #: Optional static CPU headroom kept free of opportunistic and
+    #: low-criticality calls (< 1.0 reserves the top slice for reserved
+    #: work).  Default 1.0: reserved SLOs are protected by scheduling
+    #: priority and the utilization controller instead — a static slice
+    #: quantizes badly on few-core machines and strands capacity.
+    background_admission_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.code_load_s < 0:
+            raise ValueError("code_load_s must be >= 0")
+        if not 0 < self.memory_headroom <= 1:
+            raise ValueError("memory_headroom must be in (0, 1]")
+
+
+@dataclass
+class _RunningCall:
+    call: FunctionCall
+    cpu_load: float
+    memory_mb: float
+    finish_handle: object
+
+
+class Worker:
+    """One worker machine executing function calls."""
+
+    def __init__(self, sim: Simulator, name: str, region: str,
+                 namespace: str = "default",
+                 machine: MachineSpec = MachineSpec(),
+                 params: WorkerParams = WorkerParams(),
+                 jit_params: JitParams = JitParams(),
+                 on_finish: Optional[FinishCallback] = None,
+                 downstream_gateway: Optional[DownstreamGateway] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.region = region
+        self.namespace = namespace
+        self.machine = machine
+        self.params = params
+        self.jit = RuntimeJit(jit_params)
+        self.on_finish = on_finish
+        self.downstream_gateway = downstream_gateway
+        self.locality_group: int = 0
+        self.code_version = CodeVersion(version=1, released_at=0.0)
+
+        self.cpu = CpuAccount(cores=machine.cores)
+        self._running: Dict[int, _RunningCall] = {}
+        self._live_memory_mb = 0.0
+        #: LRU of resident functions: name → resident MB.
+        self._resident: "OrderedDict[str, float]" = OrderedDict()
+        self._resident_mb = 0.0
+        #: Functions executed in the current accounting window (Fig 9).
+        self._window_functions: Set[str] = set()
+
+        self.calls_started = 0
+        self.calls_completed = 0
+        self.admission_rejections = 0
+        self.isolation_rejections = 0
+        self.evictions = 0
+        #: False while the machine is down (site outage injection).
+        self.online = True
+
+    # ------------------------------------------------------------------
+    # Capacity views (used by the WorkerLB's power-of-two choice)
+    # ------------------------------------------------------------------
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    @property
+    def memory_in_use_mb(self) -> float:
+        return (self.params.runtime_baseline_mb + self._resident_mb +
+                self._live_memory_mb)
+
+    @property
+    def cpu_load(self) -> float:
+        return self.cpu.load
+
+    def load_score(self) -> float:
+        """Scalar load for load balancing: max of thread/CPU/memory use."""
+        return max(self.running_count / self.machine.threads,
+                   self.cpu.load / self.machine.cores,
+                   self.memory_in_use_mb / self.machine.memory_mb)
+
+    # ------------------------------------------------------------------
+    # Admission and execution
+    # ------------------------------------------------------------------
+    def can_admit(self, call: FunctionCall) -> bool:
+        if not self.online:
+            return False
+        cpu_minstr, mem_mb, _ = self._resources(call)
+        if self.running_count >= self.machine.threads:
+            return False
+        resident_cost = 0.0
+        if call.function_name not in self._resident:
+            resident_cost = (call.spec.code_size_mb *
+                             self.params.resident_multiplier)
+        projected_mem = self.memory_in_use_mb + mem_mb + resident_cost
+        if projected_mem > self.machine.memory_mb * self.params.memory_headroom:
+            return False
+        # CPU admission: keep projected steady load within the core budget.
+        speed = self.jit.speed(self.sim.now)
+        duration = self._duration(call, speed)
+        cpu_load = self._cpu_seconds(cpu_minstr, speed) / duration
+        budget = self.machine.cores * self.params.cpu_admission_factor
+        if self._is_background(call):
+            budget *= self.params.background_admission_fraction
+        if self.cpu.load + cpu_load > budget:
+            return False
+        return True
+
+    @staticmethod
+    def _is_background(call: FunctionCall) -> bool:
+        from ..workloads.spec import Criticality, QuotaType
+        return (call.spec.quota_type is QuotaType.OPPORTUNISTIC
+                or call.spec.criticality <= Criticality.LOW)
+
+    def execute(self, call: FunctionCall) -> bool:
+        """Admit and run ``call``; returns False if the worker refused it.
+
+        The worker independently re-checks the Bell–LaPadula flow (§4.7:
+        "workers also ensure that a function running in a zone follows
+        these properties").
+        """
+        if not flow_allowed(call.source_level, call.spec.isolation_level):
+            self.isolation_rejections += 1
+            self._finish_now(call, CallOutcome.ISOLATION_DENIED)
+            return True  # terminal: do not retry elsewhere
+        if not self.can_admit(call):
+            self.admission_rejections += 1
+            return False
+
+        now = self.sim.now
+        cpu_minstr, mem_mb, _ = self._resources(call)
+        speed = self.jit.speed(now)
+        duration = self._duration(call, speed)
+        cpu_load = self._cpu_seconds(cpu_minstr, speed) / duration
+        # Residual universal-worker cost: first call of a function loads
+        # its (pre-pushed) code from local SSD.
+        if call.function_name not in self._resident:
+            duration += self.params.code_load_s
+            self._make_resident(call.function_name, call.spec.code_size_mb)
+        else:
+            self._resident.move_to_end(call.function_name)
+
+        self.cpu.on_start(now, cpu_load)
+        self._live_memory_mb += mem_mb
+        self._window_functions.add(call.function_name)
+        call.worker_name = self.name
+        call.dispatch_time = now if call.dispatch_time is None \
+            else call.dispatch_time
+        self.calls_started += 1
+        handle = self.sim.call_after(
+            duration, lambda: self._complete(call.call_id))
+        self._running[call.call_id] = _RunningCall(
+            call=call, cpu_load=cpu_load, memory_mb=mem_mb,
+            finish_handle=handle)
+        return True
+
+    def _complete(self, call_id: int) -> None:
+        rc = self._running.pop(call_id, None)
+        if rc is None:
+            return
+        now = self.sim.now
+        self.cpu.on_finish(now, rc.cpu_load)
+        self._live_memory_mb -= rc.memory_mb
+        self.calls_completed += 1
+        rc.call.finish_time = now
+        outcome = CallOutcome.OK
+        if self.downstream_gateway is not None and rc.call.spec.downstream:
+            outcome = self.downstream_gateway(rc.call)
+        if self.on_finish is not None:
+            self.on_finish(rc.call, outcome)
+
+    def _finish_now(self, call: FunctionCall, outcome: CallOutcome) -> None:
+        call.finish_time = self.sim.now
+        if self.on_finish is not None:
+            self.on_finish(call, outcome)
+
+    # ------------------------------------------------------------------
+    # Resource helpers
+    # ------------------------------------------------------------------
+    def _resources(self, call: FunctionCall) -> Tuple[float, float, float]:
+        if call.resources is None:
+            rng = self.sim.rng.stream(f"resources/{call.spec.name}")
+            call.resources = call.spec.profile.sample(
+                rng, self.machine.core_mips)
+        return call.resources
+
+    def _cpu_seconds(self, cpu_minstr: float, speed: float) -> float:
+        return cpu_minstr / (self.machine.core_mips * max(speed, 1e-6))
+
+    def _duration(self, call: FunctionCall, speed: float) -> float:
+        cpu_minstr, _, exec_s = self._resources(call)
+        # A call cannot finish before its (JIT-slowed) single-thread CPU
+        # time; IO-bound calls keep their nominal wall time.
+        return max(exec_s, self._cpu_seconds(cpu_minstr, speed))
+
+    def _make_resident(self, function_name: str, code_size_mb: float) -> None:
+        resident_mb = code_size_mb * self.params.resident_multiplier
+        while (self._resident_mb + resident_mb > self.params.resident_budget_mb
+               and self._resident):
+            _, evicted_mb = self._resident.popitem(last=False)
+            self._resident_mb -= evicted_mb
+            self.evictions += 1
+        self._resident[function_name] = resident_mb
+        self._resident_mb += resident_mb
+
+    # ------------------------------------------------------------------
+    # Failure injection (site outages, §4.4's capacity-crunch scenario)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the machine down: refuse admission, abort running calls.
+
+        Aborted calls are reported as :data:`CallOutcome.WORKER_FULL`
+        so the at-least-once machinery NACKs and retries them elsewhere.
+        """
+        if not self.online:
+            return
+        self.online = False
+        self._interrupt_all()
+
+    def recover(self) -> None:
+        """Bring the machine back; the runtime restarts unseeded
+        (its JIT must re-warm, §4.5.1)."""
+        if self.online:
+            return
+        self.online = True
+        self.jit.restart(self.sim.now, with_profile_data=False)
+        self._resident.clear()
+        self._resident_mb = 0.0
+
+    def _interrupt_all(self) -> None:
+        interrupted = list(self._running.values())
+        self._running.clear()
+        now = self.sim.now
+        for rc in interrupted:
+            rc.finish_handle.cancel()
+            self.cpu.on_finish(now, rc.cpu_load)
+            self._live_memory_mb -= rc.memory_mb
+            rc.call.finish_time = None
+            if self.on_finish is not None:
+                self.on_finish(rc.call, CallOutcome.WORKER_FULL)
+
+    # ------------------------------------------------------------------
+    # Code rollout hooks (called by CodeDeployer)
+    # ------------------------------------------------------------------
+    def adopt_version(self, version: CodeVersion, seeded: bool) -> None:
+        """Switch to a new code bundle; restarts the JIT ramp."""
+        if version.version <= self.code_version.version:
+            return
+        self.code_version = version
+        self.jit.restart(self.sim.now, with_profile_data=seeded)
+
+    def receive_profile_data(self) -> None:
+        self.jit.receive_profile_data(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Accounting windows
+    # ------------------------------------------------------------------
+    def take_utilization_window(self) -> float:
+        """CPU utilization since the last call (drives Figures 7/8)."""
+        return self.cpu.take_window(self.sim.now)
+
+    def take_distinct_functions_window(self) -> int:
+        """Distinct functions executed since last call (drives Figure 9)."""
+        count = len(self._window_functions)
+        self._window_functions = set()
+        return count
+
+    @property
+    def resident_functions(self) -> int:
+        return len(self._resident)

@@ -1,0 +1,115 @@
+"""WorkerLB: locality-aware power-of-two-choices dispatch (§4.5.2).
+
+When routing a call, the WorkerLB picks two random workers *from the
+function's worker locality group* and dispatches to the less loaded one
+— "the power of two random choices" with locality layered on top.  If
+both refuse (admission control), it probes a bounded number of further
+candidates before reporting failure back to the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..sim.kernel import Simulator
+from .call import FunctionCall
+from .worker import Worker
+
+GroupLookup = Callable[[str], int]
+
+
+class WorkerLB:
+    """Load balancer over one region's worker pool for one namespace."""
+
+    def __init__(self, sim: Simulator, region: str, workers: List[Worker],
+                 group_of_function: GroupLookup,
+                 n_groups_fn: Callable[[], int],
+                 extra_probes: int = 2,
+                 rng_name: Optional[str] = None) -> None:
+        if not workers:
+            raise ValueError(f"WorkerLB in {region!r} needs workers")
+        self.sim = sim
+        self.region = region
+        self.workers = list(workers)
+        self.group_of_function = group_of_function
+        self.n_groups_fn = n_groups_fn
+        self.extra_probes = extra_probes
+        self.rng = sim.rng.stream(rng_name or f"workerlb/{region}")
+        self.dispatch_count = 0
+        self.reject_count = 0
+        self.out_of_group_dispatches = 0
+        self._groups_cache_key: Optional[int] = None
+        self._groups: Dict[int, List[Worker]] = {}
+
+    # ------------------------------------------------------------------
+    def group_workers(self, group: int) -> List[Worker]:
+        """Workers currently assigned to a locality group."""
+        self._refresh_groups()
+        return self._groups.get(group, [])
+
+    def _refresh_groups(self) -> None:
+        n_groups = max(1, self.n_groups_fn())
+        # Workers carry their group id (set by the Locality Optimizer);
+        # rebuild the index when assignments change.
+        key = hash((n_groups,) + tuple(w.locality_group for w in self.workers))
+        if key == self._groups_cache_key:
+            return
+        groups: Dict[int, List[Worker]] = {}
+        for w in self.workers:
+            groups.setdefault(w.locality_group % n_groups, []).append(w)
+        self._groups = groups
+        self._groups_cache_key = key
+
+    # ------------------------------------------------------------------
+    def dispatch(self, call: FunctionCall) -> bool:
+        """Route ``call`` to a worker; False when every candidate refused.
+
+        Locality is a *preference*, not isolation: if every probe in the
+        function's locality group refuses admission (its workers hogged
+        by long CPU-bound calls), the call spills to the whole pool
+        rather than stranding idle capacity in other groups — the same
+        spirit as the Locality Optimizer moving workers between groups
+        under load imbalance (§4.5.2), but at per-call granularity.
+        """
+        group = self.group_of_function(call.function_name)
+        candidates = self.group_workers(group)
+        if not candidates:
+            candidates = self.workers
+        order = self._two_choices_order(candidates)
+        for worker in order:
+            if worker.execute(call):
+                self.dispatch_count += 1
+                return True
+        if len(candidates) < len(self.workers):
+            for worker in self._two_choices_order(self.workers):
+                if worker.execute(call):
+                    self.dispatch_count += 1
+                    self.out_of_group_dispatches += 1
+                    return True
+        self.reject_count += 1
+        return False
+
+    def _two_choices_order(self, candidates: List[Worker]) -> List[Worker]:
+        """Power-of-two choice, then a few extra probes as fallback."""
+        if len(candidates) == 1:
+            return list(candidates)
+        a = self.rng.choice(candidates)
+        b = self.rng.choice(candidates)
+        while b is a and len(candidates) > 1:
+            b = self.rng.choice(candidates)
+        first, second = (a, b) if a.load_score() <= b.load_score() else (b, a)
+        order = [first, second]
+        for _ in range(self.extra_probes):
+            extra = self.rng.choice(candidates)
+            if extra not in order:
+                order.append(extra)
+        return order
+
+    # ------------------------------------------------------------------
+    def pool_load(self) -> float:
+        """Mean load score across the pool (RIM/GTC input)."""
+        return sum(w.load_score() for w in self.workers) / len(self.workers)
+
+    def free_threads(self) -> int:
+        return sum(max(0, w.machine.threads - w.running_count)
+                   for w in self.workers)

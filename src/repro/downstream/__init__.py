@@ -1,0 +1,16 @@
+"""Downstream service models: TAO/WTCache/KVStore, back-pressure, incidents."""
+
+from .incident import Incident, IncidentInjector
+from .service import (DownstreamService, ServiceCallResult, ServiceParams,
+                      ServiceRegistry)
+from .tao import build_tao_stack
+
+__all__ = [
+    "DownstreamService",
+    "Incident",
+    "IncidentInjector",
+    "ServiceCallResult",
+    "ServiceParams",
+    "ServiceRegistry",
+    "build_tao_stack",
+]

@@ -1,0 +1,50 @@
+"""Fault injection for reproducing the §5.5 production incidents."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim.kernel import Simulator
+from .service import DownstreamService
+
+
+@dataclass(frozen=True)
+class Incident:
+    """A capacity-degradation window on one service.
+
+    Models events like the WTCache release whose KVStore bug throttled
+    requests: between ``start_s`` and ``end_s`` the service runs at
+    ``degraded_factor`` of its capacity, then recovers.
+    """
+
+    service_name: str
+    start_s: float
+    end_s: float
+    degraded_factor: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must exceed start_s")
+        if not 0 <= self.degraded_factor < 1:
+            raise ValueError("degraded_factor must be in [0, 1)")
+
+
+class IncidentInjector:
+    """Schedules incidents onto services."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.injected: List[Incident] = []
+
+    def inject(self, service: DownstreamService, incident: Incident) -> None:
+        if incident.service_name != service.name:
+            raise ValueError(
+                f"incident targets {incident.service_name!r}, got service "
+                f"{service.name!r}")
+        self.sim.call_at(incident.start_s,
+                         lambda: service.set_capacity_factor(
+                             incident.degraded_factor))
+        self.sim.call_at(incident.end_s,
+                         lambda: service.set_capacity_factor(1.0))
+        self.injected.append(incident)

@@ -1,0 +1,18 @@
+"""Metrics: time series, streaming percentiles, registry, reporting."""
+
+from .percentile import P2Quantile, StreamingMean
+from .recorder import MetricsRegistry
+from .report import format_table, series_block, sparkline
+from .timeseries import Counter, Distribution, Gauge
+
+__all__ = [
+    "Counter",
+    "Distribution",
+    "Gauge",
+    "MetricsRegistry",
+    "P2Quantile",
+    "StreamingMean",
+    "format_table",
+    "series_block",
+    "sparkline",
+]

@@ -1,0 +1,116 @@
+"""Streaming percentile estimation (P² algorithm).
+
+Components that run for a long simulated time (e.g. the Central Rate
+Limiter tracking per-call cost) cannot keep every sample.  The P²
+algorithm (Jain & Chlamtac, 1985) maintains a five-marker parabolic
+approximation of a single quantile in O(1) memory.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class P2Quantile:
+    """Streaming estimator of one quantile via the P² algorithm."""
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        self.q = q
+        self._initial: List[float] = []
+        self._n: List[int] = []       # marker positions
+        self._np: List[float] = []    # desired positions
+        self._heights: List[float] = []
+        self.count = 0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._n = [1, 2, 3, 4, 5]
+                self._np = [1.0, 1 + 2 * self.q, 1 + 4 * self.q,
+                            3 + 2 * self.q, 5.0]
+            return
+
+        h = self._heights
+        # Find cell k containing x, clamping extremes.
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            self._n[i] += 1
+        dn = [0.0, self.q / 2, self.q, (1 + self.q) / 2, 1.0]
+        for i in range(5):
+            self._np[i] += dn[i]
+
+        # Adjust interior markers.
+        for i in range(1, 4):
+            d = self._np[i] - self._n[i]
+            if (d >= 1 and self._n[i + 1] - self._n[i] > 1) or \
+               (d <= -1 and self._n[i - 1] - self._n[i] < -1):
+                sign = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, sign)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, sign)
+                self._n[i] += sign
+
+    def _parabolic(self, i: int, sign: int) -> float:
+        n, h = self._n, self._heights
+        return h[i] + sign / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + sign) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - sign) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+
+    def _linear(self, i: int, sign: int) -> float:
+        n, h = self._n, self._heights
+        return h[i] + sign * (h[i + sign] - h[i]) / (n[i + sign] - n[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate."""
+        if self.count == 0:
+            raise ValueError("no samples")
+        if len(self._initial) < 5:
+            s = sorted(self._initial)
+            idx = min(len(s) - 1, int(self.q * len(s)))
+            return s[idx]
+        return self._heights[2]
+
+
+class StreamingMean:
+    """Incremental mean/variance (Welford) in O(1) memory."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)

@@ -1,0 +1,60 @@
+"""Central metrics registry shared by all platform components."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from .timeseries import Counter, Distribution, Gauge
+
+
+class MetricsRegistry:
+    """Lazily-created named counters, gauges, and distributions.
+
+    Naming convention is dotted paths, e.g. ``calls.received``,
+    ``region.r3.utilization``, ``worker.r1-w7.memory_mb``.
+    """
+
+    def __init__(self, counter_window: float = 60.0) -> None:
+        self.counter_window = counter_window
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._distributions: Dict[str, Distribution] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, window: float = None) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(
+                name, window if window is not None else self.counter_window)
+        return self._counters[name]
+
+    def gauge(self, name: str, initial: float = 0.0, t0: float = 0.0) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name, initial, t0)
+        return self._gauges[name]
+
+    def distribution(self, name: str) -> Distribution:
+        if name not in self._distributions:
+            self._distributions[name] = Distribution(name)
+        return self._distributions[name]
+
+    # ------------------------------------------------------------------
+    def has_counter(self, name: str) -> bool:
+        return name in self._counters
+
+    def has_gauge(self, name: str) -> bool:
+        return name in self._gauges
+
+    def has_distribution(self, name: str) -> bool:
+        return name in self._distributions
+
+    def counters_matching(self, prefix: str) -> Iterable[Counter]:
+        return (c for n, c in sorted(self._counters.items())
+                if n.startswith(prefix))
+
+    def gauges_matching(self, prefix: str) -> Iterable[Gauge]:
+        return (g for n, g in sorted(self._gauges.items())
+                if n.startswith(prefix))
+
+    def distributions_matching(self, prefix: str) -> Iterable[Distribution]:
+        return (d for n, d in sorted(self._distributions.items())
+                if n.startswith(prefix))

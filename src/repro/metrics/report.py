@@ -1,0 +1,91 @@
+"""Plain-text tables and sparkline-style series for benchmark output.
+
+The benchmark harnesses print the same rows/series the paper's tables
+and figures report; these helpers keep that output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 80) -> str:
+    """Unicode sparkline of a series, downsampled to ``width`` buckets."""
+    if not values:
+        return ""
+    vals = _downsample(list(values), width)
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_CHARS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def _downsample(values: List[float], width: int) -> List[float]:
+    if len(values) <= width:
+        return values
+    bucket = len(values) / width
+    out = []
+    for i in range(width):
+        lo = int(i * bucket)
+        hi = max(lo + 1, int((i + 1) * bucket))
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def series_block(label: str, values: Sequence[float], unit: str = "") -> str:
+    """A labeled sparkline with min/mean/max annotations."""
+    if not values:
+        return f"{label}: (empty)"
+    mean = sum(values) / len(values)
+    suffix = f" {unit}" if unit else ""
+    return (f"{label}:\n  {sparkline(values)}\n"
+            f"  min={min(values):.3g}{suffix}  mean={mean:.3g}{suffix}  "
+            f"max={max(values):.3g}{suffix}  "
+            f"peak/trough={_peak_trough(values):.2f}x")
+
+
+def _peak_trough(values: Sequence[float]) -> float:
+    trough = min(values)
+    peak = max(values)
+    if trough <= 0:
+        return float("inf") if peak > 0 else 1.0
+    return peak / trough

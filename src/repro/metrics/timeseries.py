@@ -1,0 +1,184 @@
+"""Time-series primitives used to record and report experiment output.
+
+Three flavours cover everything the paper's figures need:
+
+* :class:`Counter` — monotonically increasing totals, bucketed into
+  fixed windows ("function calls received per minute", Fig 2/4).
+* :class:`Gauge` — piecewise-constant level with time-weighted
+  statistics ("worker memory", Fig 10; "CPU utilization", Fig 8).
+* :class:`Distribution` — value samples for percentile reporting
+  (Table 3, Fig 9).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """Event counter bucketed into fixed-size time windows."""
+
+    def __init__(self, name: str, window: float = 60.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.name = name
+        self.window = window
+        self.total = 0.0
+        self._buckets: Dict[int, float] = {}
+
+    def add(self, time: float, amount: float = 1.0) -> None:
+        self.total += amount
+        idx = int(time // self.window)
+        self._buckets[idx] = self._buckets.get(idx, 0.0) + amount
+
+    def series(self, t_start: float = 0.0,
+               t_end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Dense per-window series of (window start time, count)."""
+        if not self._buckets:
+            return []
+        lo = int(t_start // self.window)
+        hi = max(self._buckets) if t_end is None else int(
+            math.ceil(t_end / self.window)) - 1
+        return [(i * self.window, self._buckets.get(i, 0.0))
+                for i in range(lo, hi + 1)]
+
+    def values(self, t_start: float = 0.0,
+               t_end: Optional[float] = None) -> List[float]:
+        return [v for _, v in self.series(t_start, t_end)]
+
+    def rate_series(self, t_start: float = 0.0,
+                    t_end: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Like :meth:`series` but values are per-second rates."""
+        return [(t, v / self.window) for t, v in self.series(t_start, t_end)]
+
+
+class Gauge:
+    """A piecewise-constant level supporting time-weighted statistics."""
+
+    def __init__(self, name: str, initial: float = 0.0, t0: float = 0.0) -> None:
+        self.name = name
+        self._points: List[Tuple[float, float]] = [(t0, initial)]
+
+    @property
+    def value(self) -> float:
+        return self._points[-1][1]
+
+    def set(self, time: float, value: float) -> None:
+        last_t, last_v = self._points[-1]
+        if time < last_t:
+            raise ValueError(f"gauge {self.name!r}: time went backwards "
+                             f"({time} < {last_t})")
+        if value == last_v:
+            return
+        if time == last_t:
+            self._points[-1] = (time, value)
+        else:
+            self._points.append((time, value))
+
+    def adjust(self, time: float, delta: float) -> None:
+        self.set(time, self.value + delta)
+
+    def time_average(self, t_start: float, t_end: float) -> float:
+        """Time-weighted mean of the gauge over [t_start, t_end]."""
+        if t_end <= t_start:
+            raise ValueError("t_end must exceed t_start")
+        area = 0.0
+        points = self._points
+        for i, (t, v) in enumerate(points):
+            seg_start = max(t, t_start)
+            seg_end = points[i + 1][0] if i + 1 < len(points) else t_end
+            seg_end = min(seg_end, t_end)
+            if seg_end > seg_start:
+                area += v * (seg_end - seg_start)
+        # Portion before the first point uses the first value.
+        first_t, first_v = points[0]
+        if t_start < first_t:
+            area += first_v * (min(first_t, t_end) - t_start)
+        return area / (t_end - t_start)
+
+    def sampled(self, t_start: float, t_end: float,
+                step: float) -> List[Tuple[float, float]]:
+        """Sample the gauge at fixed steps (for plotting-style output)."""
+        out = []
+        times = [p[0] for p in self._points]
+        t = t_start
+        while t <= t_end + 1e-9:
+            i = bisect.bisect_right(times, t) - 1
+            out.append((t, self._points[max(i, 0)][1]))
+            t += step
+        return out
+
+    def max_value(self, t_start: float = 0.0,
+                  t_end: float = math.inf) -> float:
+        vals = [v for t, v in self._points if t_start <= t <= t_end]
+        if not vals:
+            # gauge constant over the interval: value at t_start applies
+            times = [p[0] for p in self._points]
+            i = bisect.bisect_right(times, t_start) - 1
+            return self._points[max(i, 0)][1]
+        return max(vals)
+
+
+class Distribution:
+    """Collected samples with exact percentile queries.
+
+    Stores all samples (experiments here are ≤ a few million samples);
+    percentiles use the nearest-rank method the paper's Pxx notation
+    implies.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def add(self, value: float) -> None:
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; ``p`` in [0, 100]."""
+        if not self._samples:
+            raise ValueError(f"distribution {self.name!r} is empty")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        self._ensure_sorted()
+        if p == 0:
+            return self._samples[0]
+        rank = max(1, math.ceil(p / 100.0 * len(self._samples)))
+        return self._samples[rank - 1]
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"distribution {self.name!r} is empty")
+        return sum(self._samples) / len(self._samples)
+
+    def min(self) -> float:
+        self._ensure_sorted()
+        return self._samples[0]
+
+    def max(self) -> float:
+        self._ensure_sorted()
+        return self._samples[-1]
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples strictly below ``threshold``."""
+        if not self._samples:
+            raise ValueError(f"distribution {self.name!r} is empty")
+        self._ensure_sorted()
+        return bisect.bisect_left(self._samples, threshold) / len(self._samples)

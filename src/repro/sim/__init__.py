@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation kernel.
+
+The substrate the entire XFaaS reproduction runs on: a single-threaded
+event loop (:class:`Simulator`), generator processes (:func:`spawn`),
+shared resources (:class:`Resource`, :class:`Store`), one-shot
+:class:`Signal` events, and named reproducible RNG streams.
+"""
+
+from .events import EventCancelled, EventQueue, ScheduledEvent, Signal
+from .kernel import PeriodicTask, SimulationError, Simulator
+from .process import Process, ProcessKilled, spawn
+from .resources import Resource, Store
+from .rng import RngRegistry, RngStream
+
+__all__ = [
+    "EventCancelled",
+    "EventQueue",
+    "PeriodicTask",
+    "Process",
+    "ProcessKilled",
+    "Resource",
+    "RngRegistry",
+    "RngStream",
+    "ScheduledEvent",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "spawn",
+]

@@ -1,0 +1,126 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is a classic event-scheduling simulator: a single priority
+queue of :class:`ScheduledEvent` entries ordered by ``(time, priority,
+seq)``.  The ``seq`` tiebreaker makes execution order fully
+deterministic, which the whole reproduction relies on: two runs with the
+same seed produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+class EventCancelled(Exception):
+    """Raised when waiting on an event that gets cancelled."""
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback scheduled at a simulation time.
+
+    Ordering is ``(time, priority, seq)``; lower values run first.
+    ``cancelled`` entries stay in the heap but are skipped when popped
+    (lazy deletion), which keeps cancellation O(1).
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`ScheduledEvent`."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[[], None],
+             priority: int = 0) -> ScheduledEvent:
+        """Schedule ``callback`` at ``time`` and return a cancellable handle."""
+        ev = ScheduledEvent(time=time, priority=priority,
+                            seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+
+class Signal:
+    """A one-shot event that process coroutines can wait on.
+
+    A :class:`Signal` starts pending; :meth:`fire` wakes every waiter
+    exactly once with an optional value.  Subsequent waits complete
+    immediately.  :meth:`fail` wakes waiters with an exception instead.
+    """
+
+    __slots__ = ("_fired", "_value", "_error", "_waiters")
+
+    def __init__(self) -> None:
+        self._fired = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._waiters: List[Callable[["Signal"], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    def fire(self, value: Any = None) -> None:
+        if self._fired:
+            raise RuntimeError("Signal already fired")
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(self)
+
+    def fail(self, error: BaseException) -> None:
+        if self._fired:
+            raise RuntimeError("Signal already fired")
+        self._fired = True
+        self._error = error
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            waiter(self)
+
+    def add_waiter(self, waiter: Callable[["Signal"], None]) -> None:
+        """Register ``waiter``; called immediately if already fired."""
+        if self._fired:
+            waiter(self)
+        else:
+            self._waiters.append(waiter)

@@ -1,0 +1,178 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the clock and the event queue.  Components
+schedule plain callbacks (:meth:`Simulator.call_at` /
+:meth:`Simulator.call_after`), periodic ticks (:meth:`Simulator.every`),
+or generator processes (see :mod:`repro.sim.process`).
+
+The kernel is intentionally minimal — there is no global registry or
+implicit singleton.  Everything in the reproduction receives the
+simulator it runs on, which keeps tests hermetic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .events import EventQueue, ScheduledEvent, Signal
+from .rng import RngRegistry
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (scheduling in the past, etc.)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named RNG streams (see :class:`RngRegistry`).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self._running = False
+        self._stopped = False
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, callback: Callable[[], None],
+                priority: int = 0) -> ScheduledEvent:
+        """Run ``callback`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} (now={self._now})")
+        return self._queue.push(time, callback, priority)
+
+    def call_after(self, delay: float, callback: Callable[[], None],
+                   priority: int = 0) -> ScheduledEvent:
+        """Run ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, callback, priority)
+
+    def every(self, interval: float, callback: Callable[[], None],
+              start: Optional[float] = None, jitter: float = 0.0,
+              rng_stream: str = "periodic-jitter") -> "PeriodicTask":
+        """Run ``callback`` every ``interval`` seconds until cancelled.
+
+        ``jitter`` adds a uniform ±jitter offset per firing, drawn from a
+        named RNG stream, which desynchronizes replicated components
+        (e.g. many schedulers polling DurableQs) the way production
+        replicas naturally desynchronize.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        task = PeriodicTask(self, interval, callback, jitter, rng_stream)
+        first = self._now if start is None else start
+        task._schedule_at(max(first, self._now))
+        return task
+
+    def timeout(self, delay: float, value=None) -> Signal:
+        """A :class:`Signal` that fires ``delay`` seconds from now."""
+        sig = Signal()
+        self.call_after(delay, lambda: sig.fire(value))
+        return sig
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run_until(self, time: float) -> None:
+        """Execute events up to and including ``time``; clock ends at ``time``."""
+        if time < self._now:
+            raise SimulationError(f"run_until({time}) is in the past")
+        self._stopped = False
+        self._running = True
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > time:
+                    break
+                ev = self._queue.pop()
+                assert ev is not None
+                self._now = ev.time
+                self.events_executed += 1
+                ev.callback()
+            self._now = max(self._now, time)
+        finally:
+            self._running = False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``max_events`` executed)."""
+        self._stopped = False
+        self._running = True
+        executed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                ev = self._queue.pop()
+                if ev is None:
+                    break
+                self._now = ev.time
+                self.events_executed += 1
+                executed += 1
+                ev.callback()
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the currently running :meth:`run`/:meth:`run_until` loop."""
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+
+class PeriodicTask:
+    """Handle for a repeating callback created by :meth:`Simulator.every`."""
+
+    def __init__(self, sim: Simulator, interval: float,
+                 callback: Callable[[], None], jitter: float,
+                 rng_stream: str) -> None:
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._rng_stream = rng_stream
+        self._handle: Optional[ScheduledEvent] = None
+        self._cancelled = False
+        self.fire_count = 0
+
+    def _schedule_at(self, time: float) -> None:
+        if self._cancelled:
+            return
+        offset = 0.0
+        if self._jitter > 0:
+            offset = self._sim.rng.stream(self._rng_stream).uniform(
+                -self._jitter, self._jitter)
+        when = max(self._sim.now, time + offset)
+        self._handle = self._sim.call_at(when, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fire_count += 1
+        base = self._sim.now
+        self._callback()
+        if not self._cancelled:
+            self._schedule_at(base + self.interval)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()

@@ -1,0 +1,152 @@
+"""Shared-resource primitives: counting resources and item stores.
+
+These model contention points in the platform — worker execution slots,
+memory pools, bounded queues — with deterministic FIFO wakeup order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .events import Signal
+from .kernel import Simulator
+
+
+class Resource:
+    """A counting resource with FIFO waiters.
+
+    ``acquire(n)`` returns a :class:`Signal` that fires when ``n`` units
+    have been granted.  ``release(n)`` returns units and wakes waiters in
+    arrival order (no starvation, deterministic).
+    """
+
+    def __init__(self, sim: Simulator, capacity: float, name: str = "") -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.in_use = 0.0
+        self._waiters: Deque[tuple] = deque()
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.in_use
+
+    def acquire(self, amount: float = 1.0) -> Signal:
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        if amount > self.capacity:
+            raise ValueError(
+                f"cannot acquire {amount} from resource of capacity "
+                f"{self.capacity}")
+        sig = Signal()
+        if not self._waiters and self.in_use + amount <= self.capacity:
+            self.in_use += amount
+            sig.fire(amount)
+        else:
+            self._waiters.append((amount, sig))
+        return sig
+
+    def try_acquire(self, amount: float = 1.0) -> bool:
+        """Non-blocking acquire; returns whether the units were granted."""
+        if not self._waiters and self.in_use + amount <= self.capacity:
+            self.in_use += amount
+            return True
+        return False
+
+    def release(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0, got {amount}")
+        self.in_use -= amount
+        if self.in_use < -1e-9:
+            raise RuntimeError(
+                f"resource {self.name!r} over-released (in_use={self.in_use})")
+        self.in_use = max(self.in_use, 0.0)
+        self._wake()
+
+    def resize(self, new_capacity: float) -> None:
+        """Change capacity (elastic pools); wakes waiters if it grew."""
+        if new_capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {new_capacity}")
+        self.capacity = new_capacity
+        self._wake()
+
+    def _wake(self) -> None:
+        while self._waiters:
+            amount, sig = self._waiters[0]
+            if self.in_use + amount > self.capacity:
+                break
+            self._waiters.popleft()
+            self.in_use += amount
+            sig.fire(amount)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Store:
+    """An unbounded-or-bounded FIFO store of items with blocking get/put."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Signal:
+        """Add ``item``; blocks (signal pending) when at capacity."""
+        sig = Signal()
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._putters.append((item, sig))
+        else:
+            self._deliver(item)
+            sig.fire(None)
+        return sig
+
+    def try_put(self, item: Any) -> bool:
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._deliver(item)
+        return True
+
+    def get(self) -> Signal:
+        """Take the oldest item; the returned signal fires with the item."""
+        sig = Signal()
+        if self._items:
+            sig.fire(self._items.popleft())
+            self._admit_putters()
+        else:
+            self._getters.append(sig)
+        return sig
+
+    def try_get(self) -> Optional[Any]:
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_putters()
+        return item
+
+    def peek(self) -> Optional[Any]:
+        return self._items[0] if self._items else None
+
+    def _deliver(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().fire(item)
+        else:
+            self._items.append(item)
+
+    def _admit_putters(self) -> None:
+        while self._putters and (
+                self.capacity is None or len(self._items) < self.capacity):
+            item, sig = self._putters.popleft()
+            self._deliver(item)
+            sig.fire(None)

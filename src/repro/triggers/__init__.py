@@ -1,0 +1,29 @@
+"""Trigger substrates: timers, data streams, warehouse events, workflows.
+
+§3.1 classifies XFaaS functions by trigger — queue (direct submission),
+event (data warehouse / data streams), and timer — and §3.1 also lists
+orchestration workflows among supported triggers.  This package builds
+each trigger source as a component that drives ``platform.submit``.
+"""
+
+from .stream import DataStream, StreamEvent, StreamTriggerService
+from .timer import (DailySchedule, IntervalSchedule, Schedule,
+                    TimerTriggerService)
+from .warehouse import DataWarehouse, TableSpec, midnight_pipelines
+from .workflow import WorkflowEngine, WorkflowInstance, WorkflowSpec
+
+__all__ = [
+    "DailySchedule",
+    "DataStream",
+    "DataWarehouse",
+    "IntervalSchedule",
+    "Schedule",
+    "StreamEvent",
+    "StreamTriggerService",
+    "TableSpec",
+    "TimerTriggerService",
+    "WorkflowEngine",
+    "WorkflowInstance",
+    "WorkflowSpec",
+    "midnight_pipelines",
+]

@@ -1,0 +1,104 @@
+"""Timer triggers: functions that fire on pre-set schedules (§3.1).
+
+Timer-triggered functions "automatically fire based on a pre-set
+timing".  Two schedule kinds cover the paper's usage:
+
+* :class:`IntervalSchedule` — every N seconds (cron-style periodic jobs);
+* :class:`DailySchedule` — at fixed times of day (the Notification
+  System's per-product campaign times, §3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from ..sim.kernel import Simulator
+
+DAY_S = 86_400.0
+
+
+class Schedule(Protocol):
+    """Yields the next firing time strictly after ``now``."""
+
+    def next_fire(self, now: float) -> float: ...
+
+
+@dataclass(frozen=True)
+class IntervalSchedule:
+    """Fire every ``interval_s`` seconds, starting at ``offset_s``."""
+
+    interval_s: float
+    offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.offset_s < 0:
+            raise ValueError("offset_s must be >= 0")
+
+    def next_fire(self, now: float) -> float:
+        if now < self.offset_s:
+            return self.offset_s
+        periods = int((now - self.offset_s) // self.interval_s) + 1
+        return self.offset_s + periods * self.interval_s
+
+
+@dataclass(frozen=True)
+class DailySchedule:
+    """Fire at fixed seconds-of-day, every day."""
+
+    times_of_day_s: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if not self.times_of_day_s:
+            raise ValueError("need at least one time of day")
+        for t in self.times_of_day_s:
+            if not 0 <= t < DAY_S:
+                raise ValueError(f"time of day {t} outside [0, 86400)")
+
+    def next_fire(self, now: float) -> float:
+        day_start = (now // DAY_S) * DAY_S
+        candidates = [day_start + t for t in sorted(self.times_of_day_s)]
+        for c in candidates:
+            if c > now:
+                return c
+        return candidates[0] + DAY_S
+
+
+class TimerTriggerService:
+    """Fires platform submissions on registered schedules.
+
+    ``calls_per_fire`` models campaign-style fan-out (one timer firing
+    submits a batch of calls, like the Notification System selecting
+    target users, §3.2).
+    """
+
+    def __init__(self, sim: Simulator, submit_fn) -> None:
+        self.sim = sim
+        self.submit_fn = submit_fn
+        self.fired_count = 0
+        self.submitted_count = 0
+        self._registrations: List[tuple] = []
+
+    def register(self, function_name: str, schedule: Schedule,
+                 calls_per_fire: int = 1,
+                 stop_at: Optional[float] = None) -> None:
+        if calls_per_fire < 1:
+            raise ValueError("calls_per_fire must be >= 1")
+        self._registrations.append((function_name, schedule))
+        self._arm(function_name, schedule, calls_per_fire, stop_at)
+
+    def _arm(self, name: str, schedule: Schedule, calls_per_fire: int,
+             stop_at: Optional[float]) -> None:
+        fire_at = schedule.next_fire(self.sim.now)
+        if stop_at is not None and fire_at >= stop_at:
+            return
+
+        def fire() -> None:
+            self.fired_count += 1
+            for _ in range(calls_per_fire):
+                self.submit_fn(name)
+                self.submitted_count += 1
+            self._arm(name, schedule, calls_per_fire, stop_at)
+        self.sim.call_at(fire_at, fire)

@@ -1,0 +1,104 @@
+"""Data-warehouse triggers: table landings fire functions (§2.2, §4.2).
+
+The paper's midnight peak exists because "Hive-like big-data pipelines
+create data tables around midnight.  The availability of the data
+triggers the invocation of many functions at a high volume."  The model:
+pipelines land tables on daily schedules clustered near midnight; each
+landed table fires the functions subscribed to it, with a fan-out
+proportional to the table's partition count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..sim.kernel import Simulator
+
+DAY_S = 86_400.0
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """A warehouse table landed daily by a pipeline."""
+
+    name: str
+    #: Second-of-day when the pipeline lands the table.
+    lands_at_s: float
+    #: Partitions per landing — one function call fires per partition.
+    partitions: int = 100
+    #: Jitter on the landing time (pipelines are never exactly on time).
+    jitter_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.lands_at_s < DAY_S:
+            raise ValueError("lands_at_s must be within a day")
+        if self.partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        if self.jitter_s < 0:
+            raise ValueError("jitter_s must be >= 0")
+
+
+class DataWarehouse:
+    """Tables, their landing schedules, and function subscriptions."""
+
+    def __init__(self, sim: Simulator,
+                 rng_name: str = "warehouse") -> None:
+        self.sim = sim
+        self.rng = sim.rng.stream(rng_name)
+        self._tables: Dict[str, TableSpec] = {}
+        self._subscriptions: Dict[str, List[str]] = {}
+        self.landings: List[tuple] = []
+
+    def register_table(self, table: TableSpec) -> None:
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+        self._subscriptions.setdefault(table.name, [])
+
+    def subscribe(self, table_name: str, function_name: str) -> None:
+        """Fire ``function_name`` once per partition on each landing."""
+        if table_name not in self._tables:
+            raise KeyError(f"unknown table {table_name!r}")
+        self._subscriptions[table_name].append(function_name)
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def start(self, submit_fn: Callable[[str], object],
+              days: int = 1) -> None:
+        """Schedule all landings for the next ``days`` days."""
+        if days < 1:
+            raise ValueError("days must be >= 1")
+        for day in range(days):
+            day_start = (self.sim.now // DAY_S) * DAY_S + day * DAY_S
+            for table in self._tables.values():
+                jitter = self.rng.uniform(-table.jitter_s, table.jitter_s) \
+                    if table.jitter_s > 0 else 0.0
+                when = max(self.sim.now, day_start + table.lands_at_s + jitter)
+                self.sim.call_at(when, self._land(table, submit_fn))
+
+    def _land(self, table: TableSpec,
+              submit_fn: Callable[[str], object]) -> Callable[[], None]:
+        def fire() -> None:
+            self.landings.append((self.sim.now, table.name))
+            for function_name in self._subscriptions[table.name]:
+                for _ in range(table.partitions):
+                    submit_fn(function_name)
+        return fire
+
+
+def midnight_pipelines(n_tables: int = 10, partitions: int = 200,
+                       spread_s: float = 5400.0) -> List[TableSpec]:
+    """The §2.2 midnight cluster: tables landing around 00:00 ± spread."""
+    if n_tables < 1:
+        raise ValueError("n_tables must be >= 1")
+    tables = []
+    for i in range(n_tables):
+        # Spread landings across [-spread, +spread] around midnight.
+        offset = -spread_s + (2 * spread_s) * i / max(n_tables - 1, 1)
+        lands_at = offset % DAY_S
+        tables.append(TableSpec(name=f"daily_table_{i:02d}",
+                                lands_at_s=lands_at,
+                                partitions=partitions))
+    return tables

@@ -1,0 +1,144 @@
+"""Trigger-category mix (Table 1) and team-skew model (§6).
+
+Table 1 (one month of production):
+
+====================  ==========  ===============  =============
+Trigger               Functions   Function calls   Compute usage
+====================  ==========  ===============  =============
+Queue-triggered       89%         15%              86%
+Event-triggered       8%          85%              14%
+Timer-triggered       3%          <1%              <1%
+====================  ==========  ===============  =============
+
+§6 reports extreme team skew: one team consumes 10% of capacity, 0.4%
+of teams consume 50%, and 2.6% consume 90%.  :func:`team_weights`
+produces a Zipf-like weight vector with that concentration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .spec import TriggerType
+
+#: Fraction of *registered functions* per trigger category (Table 1).
+FUNCTION_SHARE: Dict[TriggerType, float] = {
+    TriggerType.QUEUE: 0.89,
+    TriggerType.EVENT: 0.08,
+    TriggerType.TIMER: 0.03,
+}
+
+#: Fraction of *invocations* per trigger category (Table 1).
+CALL_SHARE: Dict[TriggerType, float] = {
+    TriggerType.QUEUE: 0.15,
+    TriggerType.EVENT: 0.85,
+    TriggerType.TIMER: 0.005,
+}
+
+#: Fraction of *compute usage* per trigger category (Table 1).
+COMPUTE_SHARE: Dict[TriggerType, float] = {
+    TriggerType.QUEUE: 0.86,
+    TriggerType.EVENT: 0.14,
+    TriggerType.TIMER: 0.005,
+}
+
+#: The paper's one-month unique-function count (§3.1); benches scale this.
+PAPER_UNIQUE_FUNCTIONS = 18_377
+
+
+@dataclass(frozen=True)
+class CategoryCounts:
+    """Integer function counts per category for a population of size n."""
+
+    queue: int
+    event: int
+    timer: int
+
+    @property
+    def total(self) -> int:
+        return self.queue + self.event + self.timer
+
+    def count_for(self, trigger: TriggerType) -> int:
+        return {TriggerType.QUEUE: self.queue,
+                TriggerType.EVENT: self.event,
+                TriggerType.TIMER: self.timer}[trigger]
+
+
+def split_functions(n_functions: int) -> CategoryCounts:
+    """Split ``n_functions`` into categories per Table 1 (each >= 1)."""
+    if n_functions < 3:
+        raise ValueError(
+            f"need at least 3 functions for all categories, got {n_functions}")
+    queue = max(1, round(n_functions * FUNCTION_SHARE[TriggerType.QUEUE]))
+    event = max(1, round(n_functions * FUNCTION_SHARE[TriggerType.EVENT]))
+    timer = max(1, n_functions - queue - event)
+    # Keep the total exact by adjusting the dominant category.
+    queue = n_functions - event - timer
+    return CategoryCounts(queue=queue, event=event, timer=timer)
+
+
+#: §6 Lorenz anchors: (fraction of teams, cumulative capacity fraction).
+#: "a single team consumes 10% … 0.4% and 2.6% of the teams consume 50%
+#: and 90% of the total capacity, respectively."  The single-team anchor
+#: is expressed for the paper's ~2,000-team population (1/2000 = 0.05%).
+TEAM_LORENZ_ANCHORS = ((0.0005, 0.10), (0.004, 0.50), (0.026, 0.90),
+                       (1.0, 1.0))
+
+
+def _lorenz(x: float) -> float:
+    """Piecewise log-linear interpolation through the §6 anchors."""
+    import math
+    if x <= 0.0:
+        return 0.0
+    prev_x, prev_y = 0.0, 0.0
+    for ax, ay in TEAM_LORENZ_ANCHORS:
+        if x <= ax:
+            if prev_x == 0.0:
+                # First segment: power-law from the origin through the
+                # first anchor, L(x) = ay * (x/ax)^alpha with alpha < 1.
+                alpha = 0.5
+                return ay * (x / ax) ** alpha
+            frac = (math.log(x) - math.log(prev_x)) / (
+                math.log(ax) - math.log(prev_x))
+            return prev_y + (ay - prev_y) * frac
+        prev_x, prev_y = ax, ay
+    return 1.0
+
+
+def team_weights(n_teams: int) -> List[float]:
+    """Capacity weights over teams matching the §6 concentration.
+
+    Weights follow the Lorenz curve through the published anchors
+    (0.05% of teams → 10%, 0.4% → 50%, 2.6% → 90% of capacity).  For
+    populations of ~2,000 teams the three statistics reproduce exactly;
+    smaller populations get a proportionally compressed version.
+    """
+    if n_teams < 1:
+        raise ValueError(f"n_teams must be >= 1, got {n_teams}")
+    weights = []
+    prev = 0.0
+    for i in range(1, n_teams + 1):
+        cum = _lorenz(i / n_teams)
+        weights.append(max(cum - prev, 0.0))
+        prev = cum
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def capacity_concentration(weights: List[float],
+                           capacity_fraction: float) -> float:
+    """Smallest fraction of teams that covers ``capacity_fraction`` of weight.
+
+    Reproduces the §6 statistic: e.g. concentration(weights, 0.5) ≈ 0.004
+    means 0.4% of teams consume 50% of capacity.
+    """
+    if not 0 < capacity_fraction <= 1:
+        raise ValueError("capacity_fraction must be in (0, 1]")
+    ordered = sorted(weights, reverse=True)
+    acc = 0.0
+    for i, w in enumerate(ordered, start=1):
+        acc += w
+        if acc >= capacity_fraction - 1e-12:
+            return i / len(ordered)
+    return 1.0

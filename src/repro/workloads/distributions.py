@@ -1,0 +1,75 @@
+"""Per-trigger resource distributions fitted to the paper's Table 3.
+
+Table 3 reports P10/P50/P90 (and a P99 tail discussed in §3.3) of CPU
+usage, memory usage, and execution time per trigger category:
+
+* **Queue-triggered** — CPU 20.40 / 221.80 / 7,611 MIPS; long CPU tail
+  (Morphing-style minutes-long transformations).
+* **Event-triggered** — CPU 0.54 / 11.36 / 189 MIPS; high frequency,
+  short executions (Falco, Notification System).
+* **Timer-triggered** — CPU 0.37 / 576.00 / 44,839 MIPS; execution time
+  from 24 ms at P10 to ~11 minutes at P99 (§3.3).
+
+Aggregate constraints from §3.3 anchor memory and execution time:
+60%/92% of functions below 16 MB/256 MB and ~2% above 1 GB; 33%/94% of
+calls within 1 s/60 s and ~1% above 5 minutes.
+
+Each category's distributions are lognormals fitted through two
+published percentile points; the test suite checks the sampled
+percentiles land near the paper's columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .spec import LogNormal, ResourceProfile, TriggerType
+
+#: CPU millions-of-instructions per call, fitted through (P10, P90) of
+#: Table 3's CPU column.
+_CPU = {
+    TriggerType.QUEUE: LogNormal.from_percentiles(
+        (10, 20.40), (90, 7611.0), lo=0.01, hi=5.0e6),
+    TriggerType.EVENT: LogNormal.from_percentiles(
+        (10, 0.54), (90, 189.0), lo=0.01, hi=1.0e5),
+    TriggerType.TIMER: LogNormal.from_percentiles(
+        (10, 0.37), (90, 44_839.0), lo=0.01, hi=5.0e6),
+}
+
+#: Peak memory MB per call.  Queue-triggered skews larger (long-running
+#: data transformations); event-triggered skews small.  All three mix to
+#: the §3.3 aggregate anchors.
+_MEMORY = {
+    TriggerType.QUEUE: LogNormal.from_percentiles(
+        (50, 32.0), (92, 512.0), lo=1.0, hi=48 * 1024.0),
+    TriggerType.EVENT: LogNormal.from_percentiles(
+        (60, 16.0), (92, 128.0), lo=1.0, hi=16 * 1024.0),
+    TriggerType.TIMER: LogNormal.from_percentiles(
+        (50, 24.0), (92, 384.0), lo=1.0, hi=32 * 1024.0),
+}
+
+#: Wall-clock execution seconds per call.
+_EXEC = {
+    # Long tail past 10 minutes for queue-triggered work (§3.3: 1% of
+    # calls exceed 5 minutes; execution tops out around tens of minutes).
+    TriggerType.QUEUE: LogNormal.from_percentiles(
+        (33, 1.5), (94, 90.0), lo=0.005, hi=1800.0),
+    # Event-triggered calls are sub-second heavy (Falco's 15 s SLO).
+    TriggerType.EVENT: LogNormal.from_percentiles(
+        (50, 0.25), (94, 5.0), lo=0.002, hi=600.0),
+    # Timer: 24 ms at P10 up to ~11 minutes at P99 (§3.3).
+    TriggerType.TIMER: LogNormal.from_percentiles(
+        (10, 0.024), (99, 660.0), lo=0.005, hi=1800.0),
+}
+
+TRIGGER_PROFILES: Dict[TriggerType, ResourceProfile] = {
+    trigger: ResourceProfile(cpu_minstr=_CPU[trigger],
+                             memory_mb=_MEMORY[trigger],
+                             exec_time_s=_EXEC[trigger])
+    for trigger in TriggerType
+}
+
+
+def profile_for(trigger: TriggerType) -> ResourceProfile:
+    """The Table 3-fitted resource profile for a trigger category."""
+    return TRIGGER_PROFILES[trigger]

@@ -1,0 +1,117 @@
+"""Diurnal arrival-rate curves with a controllable peak-to-trough ratio.
+
+Figure 2 of the paper shows received function calls peaking at 4.3× the
+trough, with the global peak at *midnight* — a spike caused by Hive-like
+big-data pipelines publishing tables around midnight (§2.2).
+:class:`DiurnalRate` reproduces that shape: a day/night sinusoid (whose
+own peak-to-trough is ``day_ratio``, Azure-like ~2×) plus a Gaussian
+midnight burst that lifts the global maximum to ``peak_to_trough`` ×
+trough.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+DAY_S = 86_400.0
+
+
+@dataclass(frozen=True)
+class DiurnalRate:
+    """Time-varying arrival rate (calls/second).
+
+    Parameters
+    ----------
+    base_rate:
+        Mean rate of the sinusoidal component over a day.
+    peak_to_trough:
+        Ratio of the global maximum (at midnight) to the trough.
+        Figure 2 reports 4.3.
+    day_ratio:
+        Peak-to-trough of the smooth daytime sinusoid alone (Shahrad et
+        al. report ~2 for Azure Functions; the paper cites this).
+    midnight_spike_width_s:
+        Standard deviation of the Gaussian midnight burst.
+    peak_hour:
+        Hour of day (0–24) where the sinusoid peaks.
+    """
+
+    base_rate: float = 100.0
+    peak_to_trough: float = 4.3
+    day_ratio: float = 2.0
+    midnight_spike_width_s: float = 2700.0
+    peak_hour: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {self.base_rate}")
+        if self.day_ratio < 1.0:
+            raise ValueError(f"day_ratio must be >= 1, got {self.day_ratio}")
+        if self.peak_to_trough < self.day_ratio:
+            raise ValueError("peak_to_trough must be >= day_ratio "
+                             "(the midnight spike only adds load)")
+        if self.midnight_spike_width_s <= 0:
+            raise ValueError("midnight_spike_width_s must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def trough(self) -> float:
+        # Sinusoid mean = (trough + sine_peak)/2 = base_rate.
+        return 2.0 * self.base_rate / (1.0 + self.day_ratio)
+
+    @property
+    def sine_peak(self) -> float:
+        return self.trough * self.day_ratio
+
+    @property
+    def global_peak(self) -> float:
+        return self.trough * self.peak_to_trough
+
+    def _sine(self, tod: float) -> float:
+        phase = 2.0 * math.pi * (tod / DAY_S - self.peak_hour / 24.0)
+        return self.trough + (self.sine_peak - self.trough) * 0.5 * (
+            1.0 + math.cos(phase))
+
+    @property
+    def _spike_height(self) -> float:
+        # Lift the midnight value exactly to the global peak.
+        return max(0.0, self.global_peak - self._sine(0.0))
+
+    def rate(self, t: float) -> float:
+        """Arrival rate (calls/s) at simulation time ``t`` seconds."""
+        tod = t % DAY_S
+        dist = min(tod, DAY_S - tod)
+        spike = self._spike_height * math.exp(
+            -0.5 * (dist / self.midnight_spike_width_s) ** 2)
+        return self._sine(tod) + spike
+
+    def mean_rate(self, t_start: float = 0.0, t_end: float = DAY_S,
+                  step: float = 60.0) -> float:
+        """Numeric mean of the rate over a window (for capacity sizing)."""
+        if t_end <= t_start:
+            raise ValueError("t_end must exceed t_start")
+        n, total, t = 0, 0.0, t_start
+        while t < t_end:
+            total += self.rate(t)
+            n += 1
+            t += step
+        return total / n
+
+
+@dataclass(frozen=True)
+class ConstantRate:
+    """A flat arrival rate (useful for controlled experiments)."""
+
+    base_rate: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {self.base_rate}")
+
+    def rate(self, t: float) -> float:
+        return self.base_rate
+
+    def mean_rate(self, t_start: float = 0.0, t_end: float = DAY_S,
+                  step: float = 60.0) -> float:
+        return self.base_rate

@@ -1,0 +1,151 @@
+"""The five example workloads of §3.2 / Table 2.
+
+Each workload is a small family of functions with characteristic
+resource ranges:
+
+* **Recommendation System** — event-triggered, async friend-recommendation
+  generation; moderate CPU, seconds-scale runs, user-event driven.
+* **Falco** — logging platform; event-triggered, very high frequency,
+  tiny CPU, SLO of 15 s mean / 60 s P99 execution.
+* **Productivity Bot** — rule automations on events like code deploys;
+  low volume, short runs.
+* **Notification System** — timer-scheduled campaigns selecting target
+  users and sending notifications; bursty at preset times.
+* **Morphing Framework** — programmatically generated *ephemeral*
+  functions doing data transformations; minutes-long, orders of
+  magnitude more CPU than ordinary functions (§3.2), memory grows until
+  completion — the reason locality groups spread them round-robin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .spec import (Criticality, FunctionSpec, LogNormal, QuotaType,
+                   ResourceProfile, RetryPolicy, TriggerType)
+
+
+@dataclass(frozen=True)
+class WorkloadExample:
+    """A named §3.2 workload: its functions plus a nominal rate share."""
+
+    name: str
+    specs: Tuple[FunctionSpec, ...]
+    #: Mean invocations/s across the family at scale=1.
+    nominal_rate: float
+
+
+def _profile(cpu_lo: float, cpu_hi: float, mem_lo: float, mem_hi: float,
+             exec_lo: float, exec_hi: float) -> ResourceProfile:
+    """Profile whose P10–P90 spans roughly [lo, hi] per Table 2 ranges."""
+    return ResourceProfile(
+        cpu_minstr=LogNormal.from_percentiles((10, cpu_lo), (90, cpu_hi),
+                                              lo=cpu_lo / 10),
+        memory_mb=LogNormal.from_percentiles((10, mem_lo), (90, mem_hi),
+                                             lo=1.0, hi=48 * 1024.0),
+        exec_time_s=LogNormal.from_percentiles((10, exec_lo), (90, exec_hi),
+                                               lo=exec_lo / 10, hi=3600.0),
+    )
+
+
+def recommendation_system(n_functions: int = 4) -> WorkloadExample:
+    """Friend-recommendation regeneration on user events (async)."""
+    profile = _profile(50.0, 5_000.0, 32.0, 512.0, 0.5, 20.0)
+    specs = tuple(
+        FunctionSpec(
+            name=f"recsys/regen-{i}", team="recsys",
+            trigger=TriggerType.EVENT, criticality=Criticality.HIGH,
+            quota_type=QuotaType.RESERVED, quota_minstr_per_s=2.0e6,
+            deadline_s=300.0, profile=profile,
+            downstream=(("tao", 3),))
+        for i in range(n_functions))
+    return WorkloadExample("recommendation-system", specs, nominal_rate=40.0)
+
+
+def falco(n_functions: int = 3) -> WorkloadExample:
+    """Event logging; SLO: execute within 15 s mean, 60 s at P99."""
+    profile = _profile(0.5, 20.0, 4.0, 64.0, 0.02, 1.0)
+    specs = tuple(
+        FunctionSpec(
+            name=f"falco/log-{i}", team="falco",
+            trigger=TriggerType.EVENT, criticality=Criticality.HIGH,
+            quota_type=QuotaType.RESERVED, quota_minstr_per_s=1.0e6,
+            deadline_s=15.0, profile=profile,
+            retry_policy=RetryPolicy(max_attempts=5, retry_delay_s=1.0))
+        for i in range(n_functions))
+    return WorkloadExample("falco", specs, nominal_rate=300.0)
+
+
+def productivity_bot(n_functions: int = 5) -> WorkloadExample:
+    """Rule automations (e.g. message on code deploy)."""
+    profile = _profile(5.0, 200.0, 8.0, 128.0, 0.1, 5.0)
+    specs = tuple(
+        FunctionSpec(
+            name=f"prodbot/rule-{i}", team="prodbot",
+            trigger=TriggerType.EVENT, criticality=Criticality.NORMAL,
+            quota_type=QuotaType.RESERVED, quota_minstr_per_s=5.0e5,
+            deadline_s=60.0, profile=profile)
+        for i in range(n_functions))
+    return WorkloadExample("productivity-bot", specs, nominal_rate=5.0)
+
+
+def notification_system(n_functions: int = 3) -> WorkloadExample:
+    """Scheduled notification campaigns (SMS/email/push)."""
+    profile = _profile(20.0, 2_000.0, 16.0, 256.0, 0.2, 30.0)
+    specs = tuple(
+        FunctionSpec(
+            name=f"notify/campaign-{i}", team="notifications",
+            trigger=TriggerType.TIMER, criticality=Criticality.NORMAL,
+            quota_type=QuotaType.OPPORTUNISTIC, quota_minstr_per_s=1.0e6,
+            deadline_s=86_400.0, profile=profile,
+            downstream=(("tao", 1),))
+        for i in range(n_functions))
+    return WorkloadExample("notification-system", specs, nominal_rate=15.0)
+
+
+def morphing_framework(n_functions: int = 6) -> WorkloadExample:
+    """Ephemeral data-transformation functions: minutes-long, CPU-heavy."""
+    profile = _profile(5.0e5, 5.0e6, 1024.0, 16_384.0, 60.0, 600.0)
+    specs = tuple(
+        FunctionSpec(
+            name=f"morphing/xform-{i}", team="morphing",
+            trigger=TriggerType.QUEUE, criticality=Criticality.LOW,
+            quota_type=QuotaType.OPPORTUNISTIC, quota_minstr_per_s=2.0e7,
+            deadline_s=86_400.0, profile=profile, ephemeral=True,
+            code_size_mb=20.0)
+        for i in range(n_functions))
+    return WorkloadExample("morphing-framework", specs, nominal_rate=0.5)
+
+
+def all_examples() -> List[WorkloadExample]:
+    """All five §3.2 workloads at their default sizes."""
+    return [recommendation_system(), falco(), productivity_bot(),
+            notification_system(), morphing_framework()]
+
+
+def table2_rows(samples_per_spec: int = 500, seed: int = 7) -> List[tuple]:
+    """Sampled (workload, cpu lo–hi, mem lo–hi, exec lo–hi) rows (Table 2).
+
+    Ranges are the min/max of per-function P10/P90 estimates, matching
+    Table 2's "minimum and maximum across the workload's functions".
+    """
+    from ..sim.rng import RngStream
+    rows = []
+    for example in all_examples():
+        cpu_vals, mem_vals, exec_vals = [], [], []
+        for spec in example.specs:
+            rng = RngStream(f"table2-{spec.name}", seed)
+            for _ in range(samples_per_spec):
+                cpu, mem, exec_s = spec.profile.sample(rng)
+                cpu_vals.append(cpu)
+                mem_vals.append(mem)
+                exec_vals.append(exec_s)
+        cpu_vals.sort(), mem_vals.sort(), exec_vals.sort()
+        lo = lambda v: v[int(0.1 * len(v))]
+        hi = lambda v: v[int(0.9 * len(v))]
+        rows.append((example.name,
+                     lo(cpu_vals), hi(cpu_vals),
+                     lo(mem_vals), hi(mem_vals),
+                     lo(exec_vals), hi(exec_vals)))
+    return rows

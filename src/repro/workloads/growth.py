@@ -1,0 +1,86 @@
+"""Adoption-growth model for Figure 3.
+
+Figure 3 shows daily XFaaS invocations growing ~50× over five years,
+with a sharp inflection at the end of 2022 when Kafka-like data streams
+began triggering functions.  The model is exponential organic growth
+plus logistic step-ups for feature-launch events.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+YEAR_DAYS = 365.0
+
+
+@dataclass(frozen=True)
+class LaunchEvent:
+    """A feature launch multiplying steady-state volume."""
+
+    day: float
+    volume_multiplier: float
+    ramp_days: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.volume_multiplier < 1.0:
+            raise ValueError("volume_multiplier must be >= 1")
+        if self.ramp_days <= 0:
+            raise ValueError("ramp_days must be positive")
+
+    def factor(self, day: float) -> float:
+        """Logistic ramp from 1 to volume_multiplier around ``self.day``."""
+        x = (day - self.day) / self.ramp_days
+        logistic = 1.0 / (1.0 + math.exp(-4.0 * x))
+        return 1.0 + (self.volume_multiplier - 1.0) * logistic
+
+
+@dataclass(frozen=True)
+class GrowthModel:
+    """Daily invocation volume over time."""
+
+    initial_daily_calls: float = 1.0
+    organic_growth_per_year: float = 1.9
+    launches: Tuple[LaunchEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.initial_daily_calls <= 0:
+            raise ValueError("initial_daily_calls must be positive")
+        if self.organic_growth_per_year <= 0:
+            raise ValueError("organic_growth_per_year must be positive")
+
+    def daily_calls(self, day: float) -> float:
+        organic = self.initial_daily_calls * (
+            self.organic_growth_per_year ** (day / YEAR_DAYS))
+        factor = 1.0
+        for launch in self.launches:
+            factor *= launch.factor(day)
+        return organic * factor
+
+    def series(self, days: int, step_days: float = 30.0) -> List[Tuple[float, float]]:
+        out = []
+        d = 0.0
+        while d <= days:
+            out.append((d, self.daily_calls(d)))
+            d += step_days
+        return out
+
+    def growth_factor(self, days: int) -> float:
+        """Total growth multiple over the horizon (paper: ~50× in 5 years)."""
+        return self.daily_calls(days) / self.daily_calls(0.0)
+
+
+def figure3_model() -> GrowthModel:
+    """Five-year growth reaching ~50×, with the late-2022 stream launch.
+
+    Organic growth ~1.9×/year compounds to ~25×; the data-stream trigger
+    launch in the final year (day ~1550 of 1825) doubles volume, landing
+    the total near the paper's 50×.
+    """
+    return GrowthModel(
+        initial_daily_calls=1.0,
+        organic_growth_per_year=1.9,
+        launches=(LaunchEvent(day=1550.0, volume_multiplier=2.1,
+                              ramp_days=45.0),),
+    )

@@ -1,0 +1,83 @@
+"""Rare-function populations (the §1 motivation).
+
+The paper quotes Shahrad et al.'s Azure study: "81% of the applications
+are invoked once per minute or less on average.  This suggests that the
+cost of keeping these applications warm, relative to their total
+execution (billable) time, can be prohibitively high."
+
+:func:`build_rare_population` produces exactly that world: a large set
+of functions whose individual rates sit at or below one invocation per
+minute (log-uniformly spread down to one per hour), which is the regime
+where per-function warm containers waste almost all of their memory-time
+and XFaaS's shared universal workers win.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..sim.rng import RngStream
+from .diurnal import ConstantRate
+from .generator import FunctionLoad, Population
+from .spec import FunctionSpec, LogNormal, ResourceProfile
+
+
+def _light_profile() -> ResourceProfile:
+    """A typical small app: tens of M instr, ~100 MB, sub-second runs."""
+    return ResourceProfile(
+        cpu_minstr=LogNormal.from_percentiles((10, 5.0), (90, 100.0),
+                                              lo=0.5),
+        memory_mb=LogNormal.from_percentiles((10, 32.0), (90, 256.0),
+                                             lo=8.0, hi=2048.0),
+        exec_time_s=LogNormal.from_percentiles((10, 0.05), (90, 1.0),
+                                               lo=0.005, hi=60.0))
+
+
+def build_rare_population(n_functions: int = 200,
+                          max_rate_per_min: float = 1.0,
+                          min_rate_per_min: float = 1.0 / 60.0,
+                          rare_fraction: float = 0.81,
+                          busy_rate_per_min: float = 30.0,
+                          seed_stream: Optional[RngStream] = None,
+                          ) -> Population:
+    """A population where ``rare_fraction`` of functions run ≤ 1/min.
+
+    The remainder are "busy" functions at ``busy_rate_per_min`` — the
+    19% that carry most of the traffic in the Azure study.
+    """
+    if not 0 < rare_fraction <= 1:
+        raise ValueError("rare_fraction must be in (0, 1]")
+    if not 0 < min_rate_per_min <= max_rate_per_min:
+        raise ValueError("need 0 < min_rate <= max_rate")
+    rng = seed_stream or RngStream("rare-population", 0)
+    profile = _light_profile()
+    n_rare = round(n_functions * rare_fraction)
+    loads: List[FunctionLoad] = []
+    for i in range(n_functions):
+        if i < n_rare:
+            # Log-uniform between min and max rare rate.
+            log_rate = rng.uniform(math.log(min_rate_per_min),
+                                   math.log(max_rate_per_min))
+            rate_per_min = math.exp(log_rate)
+        else:
+            rate_per_min = busy_rate_per_min
+        rate = rate_per_min / 60.0
+        spec = FunctionSpec(
+            name=f"app-{i:04d}",
+            team=f"team-{i % 40:02d}",
+            quota_minstr_per_s=max(rate * 100.0 * 5.0, 10.0),
+            deadline_s=60.0,
+            profile=profile,
+        )
+        loads.append(FunctionLoad(spec=spec, mean_rate=rate,
+                                  shape=ConstantRate(1.0), shape_mean=1.0))
+    return Population(loads=loads)
+
+
+def rare_share(population: Population,
+               threshold_per_min: float = 1.0) -> float:
+    """Fraction of functions at or below the invocation threshold."""
+    below = sum(1 for l in population.loads
+                if l.mean_rate * 60.0 <= threshold_per_min + 1e-9)
+    return below / len(population.loads)

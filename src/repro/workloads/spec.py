@@ -1,0 +1,284 @@
+"""Function specifications — the developer-visible attributes of §2.4.
+
+A function has: name, runtime/namespace, criticality, execution start
+time (per call), execution completion deadline (seconds to 24 h),
+resource quota (reserved or opportunistic), concurrency limit, and retry
+policy.  Per-invocation resource usage is drawn from the function's
+:class:`ResourceProfile`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..sim.rng import RngStream
+
+DAY_S = 86_400.0
+
+
+class TriggerType(enum.Enum):
+    """How a function is invoked (§3.1)."""
+
+    QUEUE = "queue"
+    EVENT = "event"
+    TIMER = "timer"
+
+
+class QuotaType(enum.Enum):
+    """Reserved quota → seconds-scale SLO; opportunistic → 24 h SLO (§4.6.2)."""
+
+    RESERVED = "reserved"
+    OPPORTUNISTIC = "opportunistic"
+
+
+class Criticality(enum.IntEnum):
+    """Function criticality; higher values are scheduled first (§4.4)."""
+
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+    CRITICAL = 3
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """At-least-once retry behaviour on NACK/timeout (§4.3)."""
+
+    max_attempts: int = 3
+    retry_delay_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.retry_delay_s < 0:
+            raise ValueError(
+                f"retry_delay_s must be >= 0, got {self.retry_delay_s}")
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Lognormal distribution parameterized by (mu, sigma) of ln(x)."""
+
+    mu: float
+    sigma: float
+    lo: float = 0.0          # clamp floor
+    hi: float = math.inf     # clamp ceiling
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+        if self.lo > self.hi:
+            raise ValueError(f"lo ({self.lo}) > hi ({self.hi})")
+
+    def sample(self, rng: RngStream) -> float:
+        return min(max(rng.lognormal(self.mu, self.sigma), self.lo), self.hi)
+
+    @property
+    def median(self) -> float:
+        return min(max(math.exp(self.mu), self.lo), self.hi)
+
+    @property
+    def mean(self) -> float:
+        """Analytic mean of the clamped distribution.
+
+        Heavy-tailed lognormals (σ > 2 for the Table 3 CPU columns) make
+        Monte-Carlo mean estimates wildly unstable — the top percentile
+        carries much of the mass — so capacity planning uses this closed
+        form: E[min(X, hi)] via the lognormal partial expectation, plus
+        the (tiny) floor-clamp correction.
+        """
+        if self.sigma == 0:
+            return self.median
+        mu, s = self.mu, self.sigma
+        unclamped = math.exp(mu + s * s / 2.0)
+        if math.isinf(self.hi) and self.lo <= 0:
+            return unclamped
+        # E[min(X, h)] = e^{mu+s^2/2} Φ((ln h − mu − s²)/s) + h(1 − Φ((ln h − mu)/s))
+        if math.isinf(self.hi):
+            capped = unclamped
+        else:
+            ln_h = math.log(self.hi)
+            capped = (unclamped * _norm_cdf((ln_h - mu - s * s) / s)
+                      + self.hi * (1.0 - _norm_cdf((ln_h - mu) / s)))
+        if self.lo > 0:
+            # E[max(Y, lo)] ≈ capped + lo·P(X < lo) (ignores the small
+            # E[X | X < lo] term, conservative upward by < lo).
+            capped += self.lo * _norm_cdf((math.log(self.lo) - mu) / s)
+        return capped
+
+    @classmethod
+    def from_percentiles(cls, p_lo: Tuple[float, float],
+                         p_hi: Tuple[float, float],
+                         lo: float = 0.0, hi: float = math.inf) -> "LogNormal":
+        """Fit (mu, sigma) so two (percentile, value) points are matched.
+
+        ``p_lo``/``p_hi`` are (percentile in (0,100), positive value).
+        """
+        (q1, v1), (q2, v2) = p_lo, p_hi
+        if not (0 < q1 < q2 < 100):
+            raise ValueError("need 0 < q_lo < q_hi < 100")
+        if v1 <= 0 or v2 <= 0:
+            raise ValueError("percentile values must be positive")
+        z1, z2 = _norm_ppf(q1 / 100.0), _norm_ppf(q2 / 100.0)
+        sigma = (math.log(v2) - math.log(v1)) / (z2 - z1)
+        if sigma < 0:
+            raise ValueError("values must increase with percentile")
+        mu = math.log(v1) - z1 * sigma
+        return cls(mu=mu, sigma=sigma, lo=lo, hi=hi)
+
+
+def _norm_cdf(z: float) -> float:
+    """Standard-normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def _norm_ppf(p: float) -> float:
+    """Standard-normal inverse CDF (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    # Coefficients from Peter Acklam's algorithm (relative error < 1.15e-9).
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                            + b[4]) * r + 1)
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Per-invocation resource distributions (Table 3 shapes).
+
+    ``cpu_minstr`` is millions of instructions per call (the paper's
+    per-call "MIPS" metric); ``memory_mb`` is peak memory per call;
+    ``exec_time_s`` is wall-clock duration, which for IO-bound calls
+    exceeds pure CPU time.
+    """
+
+    cpu_minstr: LogNormal
+    memory_mb: LogNormal
+    exec_time_s: LogNormal
+
+    def sample(self, rng: RngStream,
+               core_mips: float = 4000.0) -> Tuple[float, float, float]:
+        """Draw (cpu_minstr, memory_mb, exec_time_s) for one invocation.
+
+        Consistency rules: a call cannot finish faster than its own CPU
+        demand on one core, so CPU-heavy draws stretch the wall time
+        (this is what makes Morphing-style calls minutes long) — but the
+        stretched wall time may not exceed the profile's own execution-
+        time ceiling (§3.3 bounds execution at minutes, not hours), so
+        the CPU draw is capped to what fits inside that ceiling at the
+        given core speed.
+        """
+        cpu = self.cpu_minstr.sample(rng)
+        mem = self.memory_mb.sample(rng)
+        exec_s = self.exec_time_s.sample(rng)
+        if math.isfinite(self.exec_time_s.hi):
+            cpu = min(cpu, self.exec_time_s.hi * core_mips)
+        exec_s = max(exec_s, cpu / core_mips)
+        return cpu, mem, exec_s
+
+    def mean_cpu(self, core_mips: float = 4000.0) -> float:
+        """Analytic mean per-call CPU at a given core speed.
+
+        Mirrors :meth:`sample`'s execution-ceiling cap so capacity
+        planning sees the same distribution executions realize.
+        """
+        import dataclasses
+        hi = self.cpu_minstr.hi
+        if math.isfinite(self.exec_time_s.hi):
+            hi = min(hi, self.exec_time_s.hi * core_mips)
+        return dataclasses.replace(self.cpu_minstr, hi=hi).mean
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Everything XFaaS knows about a registered function (§2.4)."""
+
+    name: str
+    namespace: str = "default"
+    team: str = "team-0"
+    trigger: TriggerType = TriggerType.QUEUE
+    criticality: Criticality = Criticality.NORMAL
+    quota_type: QuotaType = QuotaType.RESERVED
+    #: Global CPU quota in millions of instructions per second (§4.6.1).
+    quota_minstr_per_s: float = 1.0e6
+    #: Execution completion deadline, seconds after submission (§2.4).
+    deadline_s: float = 60.0
+    concurrency_limit: Optional[int] = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Bell–LaPadula classification level of the function's execution
+    #: zone (§4.7); data may only flow from lower to higher levels.
+    isolation_level: int = 0
+    profile: ResourceProfile = None  # type: ignore[assignment]
+    #: Downstream services called per invocation: (service name, calls).
+    downstream: Tuple[Tuple[str, int], ...] = ()
+    code_size_mb: float = 5.0
+    #: Ephemeral programmatically-generated functions (Morphing, §4.5.2)
+    #: are assigned to locality groups round-robin.
+    ephemeral: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("function name must be non-empty")
+        if self.quota_minstr_per_s <= 0:
+            raise ValueError(
+                f"quota must be positive, got {self.quota_minstr_per_s}")
+        if not 0 < self.deadline_s <= DAY_S:
+            raise ValueError(
+                f"deadline must be in (0, 24h], got {self.deadline_s}")
+        if self.concurrency_limit is not None and self.concurrency_limit < 1:
+            raise ValueError(
+                f"concurrency_limit must be >= 1, got {self.concurrency_limit}")
+        if self.profile is None:
+            object.__setattr__(self, "profile", DEFAULT_PROFILE)
+        if self.quota_type is QuotaType.OPPORTUNISTIC and \
+                self.deadline_s < DAY_S:
+            # Opportunistic functions have a 24 h execution SLO (§4.6.2).
+            object.__setattr__(self, "deadline_s", DAY_S)
+
+    @property
+    def is_delay_tolerant(self) -> bool:
+        """Eligible for time-shifting: opportunistic or long deadline."""
+        return (self.quota_type is QuotaType.OPPORTUNISTIC
+                or self.deadline_s >= 3600.0)
+
+
+#: A middle-of-the-road profile (event-trigger-like) used as default.
+DEFAULT_PROFILE = ResourceProfile(
+    cpu_minstr=LogNormal.from_percentiles((10, 0.54), (90, 189.0), lo=0.01),
+    memory_mb=LogNormal.from_percentiles((60, 16.0), (92, 256.0),
+                                         lo=1.0, hi=32 * 1024.0),
+    exec_time_s=LogNormal.from_percentiles((33, 1.0), (94, 60.0),
+                                           lo=0.001, hi=3600.0),
+)
+
+
+def spread_spec(spec: FunctionSpec, **overrides) -> FunctionSpec:
+    """Copy ``spec`` with field overrides (dataclasses.replace wrapper)."""
+    import dataclasses
+    return dataclasses.replace(spec, **overrides)

@@ -1,0 +1,103 @@
+"""Call-trace records: capture, summarize, save/load as CSV.
+
+Benchmarks capture per-call traces so the analysis layer can rebuild the
+paper's series (received vs executed, latency SLOs, deferral delay)
+without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class CallTrace:
+    """Lifecycle timestamps and outcome of one function call."""
+
+    call_id: int
+    function: str
+    trigger: str
+    criticality: int
+    quota_type: str
+    submit_time: float
+    start_time_requested: float
+    dispatch_time: float
+    finish_time: float
+    region_submitted: str
+    region_executed: str
+    worker: str
+    outcome: str            # "ok", "error", "throttled", "expired"
+    cpu_minstr: float
+    memory_mb: float
+    exec_time_s: float
+    attempts: int = 1
+
+    @property
+    def queueing_delay(self) -> float:
+        """Time from eligible-to-run to dispatch (time-shift shows here)."""
+        eligible = max(self.submit_time, self.start_time_requested)
+        return max(0.0, self.dispatch_time - eligible)
+
+    @property
+    def completion_latency(self) -> float:
+        """Submit → finish latency."""
+        return self.finish_time - self.submit_time
+
+    @property
+    def cross_region(self) -> bool:
+        return self.region_submitted != self.region_executed
+
+
+class TraceLog:
+    """An append-only collection of :class:`CallTrace` with CSV round-trip."""
+
+    def __init__(self) -> None:
+        self._traces: List[CallTrace] = []
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self):
+        return iter(self._traces)
+
+    def add(self, trace: CallTrace) -> None:
+        self._traces.append(trace)
+
+    def completed(self) -> List[CallTrace]:
+        return [t for t in self._traces if t.outcome == "ok"]
+
+    def for_function(self, function: str) -> List[CallTrace]:
+        return [t for t in self._traces if t.function == function]
+
+    def save_csv(self, path: Path) -> None:
+        path = Path(path)
+        names = [f.name for f in fields(CallTrace)]
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(names)
+            for t in self._traces:
+                writer.writerow([getattr(t, n) for n in names])
+
+    @classmethod
+    def load_csv(cls, path: Path) -> "TraceLog":
+        log = cls()
+        path = Path(path)
+        float_fields = {"submit_time", "start_time_requested", "dispatch_time",
+                        "finish_time", "cpu_minstr", "memory_mb", "exec_time_s"}
+        int_fields = {"call_id", "criticality", "attempts"}
+        with path.open() as fh:
+            reader = csv.DictReader(fh)
+            for row in reader:
+                kwargs = {}
+                for key, value in row.items():
+                    if key in float_fields:
+                        kwargs[key] = float(value)
+                    elif key in int_fields:
+                        kwargs[key] = int(value)
+                    else:
+                        kwargs[key] = value
+                log.add(CallTrace(**kwargs))
+        return log

@@ -1,0 +1,76 @@
+"""Tests for the figure-series builders against a small live platform."""
+
+import math
+
+import pytest
+
+from repro import FunctionSpec, PlatformParams, Simulator, XFaaS, build_topology
+from repro.analysis import (backpressure_series,
+                            distinct_functions_percentiles,
+                            fleet_utilization_series, quota_cpu_series,
+                            received_vs_executed, region_utilization_averages,
+                            worker_memory_series)
+from repro.workloads import LogNormal, QuotaType, ResourceProfile
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    sim = Simulator(seed=8)
+    topo = build_topology(n_regions=2, workers_per_unit=3)
+    params = PlatformParams(memory_sample_interval_s=30.0,
+                            distinct_window_s=300.0)
+    platform = XFaaS(sim, topo, params)
+    profile = ResourceProfile(
+        cpu_minstr=LogNormal(mu=math.log(100.0), sigma=0.5),
+        memory_mb=LogNormal(mu=math.log(64.0), sigma=0.3),
+        exec_time_s=LogNormal(mu=math.log(0.5), sigma=0.5))
+    platform.register_function(FunctionSpec(name="res", profile=profile))
+    platform.register_function(FunctionSpec(
+        name="opp", quota_type=QuotaType.OPPORTUNISTIC, profile=profile))
+    task = sim.every(2.0, lambda: [platform.submit("res"),
+                                   platform.submit("opp")])
+    sim.run_until(1800.0)
+    task.cancel()
+    sim.run_until(2400.0)
+    return sim, platform
+
+
+class TestFigureBuilders:
+    def test_received_vs_executed_lengths_match(self, small_run):
+        _, platform = small_run
+        received, executed = received_vs_executed(platform, 0, 2400.0)
+        assert len(received) == len(executed)
+        assert sum(received) >= sum(executed) > 0
+
+    def test_region_utilization_averages(self, small_run):
+        _, platform = small_run
+        utils = region_utilization_averages(platform, 60.0, 2400.0)
+        assert set(utils) == set(platform.topology.region_names)
+        assert all(0.0 <= u <= 1.0 for u in utils.values())
+
+    def test_fleet_utilization_series(self, small_run):
+        _, platform = small_run
+        series = fleet_utilization_series(platform, 60.0, 2400.0, step=60.0)
+        assert len(series) >= 30
+        assert all(0.0 <= v <= 1.0 for _, v in series)
+
+    def test_quota_cpu_series_both_classes(self, small_run):
+        _, platform = small_run
+        reserved, opportunistic = quota_cpu_series(platform, 0, 2400.0)
+        assert sum(reserved) > 0
+        assert sum(opportunistic) > 0
+        assert len(reserved) == len(opportunistic)
+
+    def test_distinct_functions_percentiles(self, small_run):
+        _, platform = small_run
+        p50, p95 = distinct_functions_percentiles(platform)
+        assert 1 <= p50 <= p95 <= 2
+
+    def test_worker_memory_series_positive(self, small_run):
+        _, platform = small_run
+        series = worker_memory_series(platform, 60.0, 2400.0, step=120.0)
+        assert all(v > 0 for _, v in series)
+
+    def test_backpressure_series_empty_without_downstream(self, small_run):
+        _, platform = small_run
+        assert backpressure_series(platform, "tao") == []

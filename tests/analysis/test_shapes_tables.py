@@ -1,0 +1,119 @@
+"""Tests for shape statistics and table builders."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (coefficient_of_variation, complementarity,
+                            normalize, peak_to_trough, pearson,
+                            smoothing_factor, table1_from_traces,
+                            table3_from_traces, time_to_reach)
+from repro.workloads import CallTrace
+
+
+class TestPeakToTrough:
+    def test_simple_ratio(self):
+        assert peak_to_trough([1.0, 2.0, 4.0]) == 4.0
+
+    def test_zero_trough_infinite(self):
+        assert peak_to_trough([0.0, 5.0]) == math.inf
+
+    def test_trimming_removes_outliers(self):
+        values = [10.0] * 98 + [1.0, 100.0]
+        assert peak_to_trough(values, trim_fraction=0.02) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            peak_to_trough([])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1))
+    @settings(max_examples=50)
+    def test_at_least_one(self, values):
+        assert peak_to_trough(values) >= 1.0
+
+
+class TestCorrelationAndComplementarity:
+    def test_pearson_perfect(self):
+        a = [1.0, 2.0, 3.0]
+        assert pearson(a, a) == pytest.approx(1.0)
+        assert pearson(a, [-x for x in a]) == pytest.approx(-1.0)
+
+    def test_pearson_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1, 2, 3])
+
+    def test_complementarity_flat_sum(self):
+        reserved = [3.0, 1.0, 3.0, 1.0]
+        opportunistic = [0.0, 2.0, 0.0, 2.0]
+        # Sum is perfectly flat → ratio 0.
+        assert complementarity(reserved, opportunistic) == pytest.approx(0.0)
+
+    def test_complementarity_no_help(self):
+        reserved = [3.0, 1.0, 3.0, 1.0]
+        aligned = [3.0, 1.0, 3.0, 1.0]
+        assert complementarity(reserved, aligned) == pytest.approx(1.0)
+
+    def test_cv_of_constant_zero(self):
+        assert coefficient_of_variation([5.0, 5.0]) == 0.0
+
+    def test_smoothing_factor(self):
+        received = [1.0, 4.3, 1.0, 2.0]
+        executed = [1.0, 1.4, 1.2, 1.1]
+        assert smoothing_factor(received, executed) == pytest.approx(
+            4.3 / 1.4, rel=0.01)
+
+
+class TestTimeToReach:
+    def test_reaches_and_sustains(self):
+        series = [(0.0, 0.1), (60.0, 0.5), (120.0, 0.95), (180.0, 0.97),
+                  (240.0, 0.99)]
+        assert time_to_reach(series, 0.95) == 120.0
+
+    def test_transient_spike_ignored(self):
+        series = [(0.0, 1.0), (60.0, 0.2), (120.0, 0.96), (180.0, 0.97),
+                  (240.0, 0.98)]
+        assert time_to_reach(series, 0.95, sustain_points=3) == 120.0
+
+    def test_never_reached(self):
+        assert time_to_reach([(0.0, 0.1)], 0.9) == math.inf
+
+    def test_normalize(self):
+        assert normalize([1.0, 2.0, 4.0]) == [0.25, 0.5, 1.0]
+        assert normalize([0.0, 0.0]) == [0.0, 0.0]
+
+
+def trace(function="f", trigger="queue", cpu=10.0, outcome="ok",
+          mem=64.0, exec_s=1.0):
+    return CallTrace(call_id=1, function=function, trigger=trigger,
+                     criticality=1, quota_type="reserved", submit_time=0.0,
+                     start_time_requested=0.0, dispatch_time=1.0,
+                     finish_time=2.0, region_submitted="r",
+                     region_executed="r", worker="w", outcome=outcome,
+                     cpu_minstr=cpu, memory_mb=mem, exec_time_s=exec_s)
+
+
+class TestTableBuilders:
+    def test_table1_shares(self):
+        traces = [trace(trigger="queue", cpu=100.0)] * 2 + \
+                 [trace(trigger="event", cpu=1.0)] * 8
+        rows = table1_from_traces(traces, {"queue": 89, "event": 8,
+                                           "timer": 3})
+        by_name = {r[0]: r for r in rows}
+        assert by_name["queue-triggered"][1] == pytest.approx(89.0)
+        assert by_name["event-triggered"][2] == pytest.approx(80.0)
+        # Compute share dominated by queue (2×100 vs 8×1).
+        assert by_name["queue-triggered"][3] > 90.0
+
+    def test_table1_ignores_failures(self):
+        traces = [trace(outcome="error")] * 5 + [trace(trigger="event")]
+        rows = table1_from_traces(traces, {"queue": 1, "event": 1,
+                                           "timer": 1})
+        by_name = {r[0]: r for r in rows}
+        assert by_name["event-triggered"][2] == pytest.approx(100.0)
+
+    def test_table3_percentiles(self):
+        traces = [trace(cpu=float(i)) for i in range(1, 101)]
+        table = table3_from_traces(traces, percentiles=(50, 99))
+        assert table["queue"]["cpu"] == [50.0, 99.0]

@@ -1,0 +1,78 @@
+"""Tests for MachineSpec and CpuAccount."""
+
+import pytest
+
+from repro.cluster import CpuAccount, MachineSpec
+
+
+class TestMachineSpec:
+    def test_defaults_match_paper(self):
+        spec = MachineSpec()
+        # §5.2: all workers are configured with 64 GB of memory.
+        assert spec.memory_mb == 64 * 1024
+
+    def test_total_mips(self):
+        spec = MachineSpec(cores=4, core_mips=1000)
+        assert spec.total_mips == 4000
+
+    @pytest.mark.parametrize("field,value", [
+        ("cores", 0), ("core_mips", -1), ("memory_mb", 0), ("threads", 0)])
+    def test_invalid_specs_rejected(self, field, value):
+        kwargs = {field: value}
+        with pytest.raises(ValueError):
+            MachineSpec(**kwargs)
+
+
+class TestCpuAccount:
+    def test_single_full_load(self):
+        acc = CpuAccount(cores=1)
+        acc.on_start(0.0, 1.0)
+        acc.on_finish(10.0, 1.0)
+        assert acc.utilization_total(10.0) == pytest.approx(1.0)
+
+    def test_fractional_load(self):
+        acc = CpuAccount(cores=2)
+        acc.on_start(0.0, 0.5)
+        acc.on_finish(10.0, 0.5)
+        # 0.5 core busy of 2 cores for the whole window → 25%.
+        assert acc.utilization_total(10.0) == pytest.approx(0.25)
+
+    def test_overlapping_loads_sum(self):
+        acc = CpuAccount(cores=4)
+        acc.on_start(0.0, 1.0)
+        acc.on_start(5.0, 1.0)
+        acc.on_finish(10.0, 1.0)
+        acc.on_finish(10.0, 1.0)
+        # 1 core for 5s + 2 cores for 5s = 15 core-s of 40.
+        assert acc.utilization_total(10.0) == pytest.approx(15 / 40)
+
+    def test_load_capped_at_core_count(self):
+        acc = CpuAccount(cores=1)
+        acc.on_start(0.0, 3.0)  # oversubscribed
+        acc.on_finish(10.0, 3.0)
+        assert acc.utilization_total(10.0) == pytest.approx(1.0)
+
+    def test_negative_load_rejected(self):
+        acc = CpuAccount(cores=1)
+        with pytest.raises(ValueError):
+            acc.on_start(0.0, -0.1)
+
+    def test_unbalanced_finish_raises(self):
+        acc = CpuAccount(cores=1)
+        acc.on_start(0.0, 0.5)
+        with pytest.raises(RuntimeError):
+            acc.on_finish(1.0, 1.5)
+
+    def test_take_window_resets(self):
+        acc = CpuAccount(cores=1)
+        acc.on_start(0.0, 1.0)
+        assert acc.take_window(10.0) == pytest.approx(1.0)
+        acc.on_finish(10.0, 1.0)
+        assert acc.take_window(20.0) == pytest.approx(0.0)
+
+    def test_take_window_partial(self):
+        acc = CpuAccount(cores=1)
+        acc.take_window(0.0)
+        acc.on_start(5.0, 1.0)
+        acc.on_finish(7.5, 1.0)
+        assert acc.take_window(10.0) == pytest.approx(0.25)

@@ -1,0 +1,114 @@
+"""Tests for the network model and topology builder."""
+
+import pytest
+
+from repro.cluster import (FIG5_RELATIVE_CAPACITY, MachineSpec, NetworkModel,
+                           Region, Topology, build_topology,
+                           size_topology_for_utilization)
+
+
+class TestNetworkModel:
+    def test_intra_region_latency_small(self):
+        net = NetworkModel(["a", "b", "c"])
+        assert net.latency("a", "a") == net.intra_latency_s
+
+    def test_cross_region_latency_100x_plus(self):
+        # §2.3: cross-region latency is 100–1000× intra-region.
+        net = NetworkModel(["a", "b", "c", "d"])
+        ratio = net.latency("a", "c") / net.latency("a", "a")
+        assert ratio >= 100
+
+    def test_cross_region_bandwidth_10x_lower(self):
+        net = NetworkModel(["a", "b"])
+        assert net.bandwidth_gbps("a", "a") / net.bandwidth_gbps("a", "b") \
+            == pytest.approx(10.0)
+
+    def test_ring_hops_symmetric(self):
+        net = NetworkModel([f"r{i}" for i in range(6)])
+        assert net.hops("r0", "r5") == 1  # ring wraps
+        assert net.hops("r0", "r3") == 3
+        assert net.hops("r2", "r4") == net.hops("r4", "r2")
+
+    def test_neighbors_sorted_by_distance(self):
+        net = NetworkModel([f"r{i}" for i in range(5)])
+        neighbors = net.neighbors_by_distance("r0")
+        hops = [net.hops("r0", n) for n in neighbors]
+        assert hops == sorted(hops)
+        assert "r0" not in neighbors
+
+    def test_transfer_time_monotone_in_size(self):
+        net = NetworkModel(["a", "b"])
+        assert net.transfer_time("a", "b", 100) > net.transfer_time("a", "b", 1)
+
+    def test_duplicate_regions_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(["a", "a"])
+
+
+class TestRegion:
+    def test_capacity_mips(self):
+        r = Region("x", {"default": 3},
+                   machine_spec=MachineSpec(cores=2, core_mips=100))
+        assert r.capacity_mips("default") == 600
+
+    def test_unknown_namespace_zero(self):
+        r = Region("x", {"default": 3})
+        assert r.workers_for("other") == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Region("x", {"default": -1})
+
+
+class TestTopology:
+    def test_uneven_capacity_shape(self):
+        topo = build_topology(n_regions=12, workers_per_unit=100)
+        counts = [r.workers_for("default") for r in topo.regions]
+        # Figure 5 shape: strictly decreasing profile, ~10× spread.
+        assert counts[0] == 100
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] / counts[-1] >= 8
+
+    def test_every_region_has_a_worker(self):
+        topo = build_topology(n_regions=12, workers_per_unit=5)
+        assert all(r.workers_for("default") >= 1 for r in topo.regions)
+
+    def test_capacity_share_sums_to_one(self):
+        topo = build_topology(n_regions=6, workers_per_unit=20)
+        assert sum(topo.capacity_share("default").values()) \
+            == pytest.approx(1.0)
+
+    def test_extra_namespaces(self):
+        topo = build_topology(n_regions=3, workers_per_unit=10,
+                              extra_namespaces={"py": 4})
+        assert topo.total_workers("py") >= 3
+
+    def test_region_lookup(self):
+        topo = build_topology(n_regions=3)
+        assert topo.region("region-01").name == "region-01"
+        with pytest.raises(KeyError):
+            topo.region("nope")
+
+    def test_mismatched_network_rejected(self):
+        topo = build_topology(n_regions=3)
+        from repro.cluster import NetworkModel
+        with pytest.raises(ValueError):
+            Topology(regions=topo.regions,
+                     network=NetworkModel(["x", "y", "z"]))
+
+
+class TestSizing:
+    def test_sized_capacity_near_target(self):
+        spec = MachineSpec(cores=8, core_mips=1000)
+        demand = 100_000.0
+        topo = size_topology_for_utilization(demand, 0.66, n_regions=12,
+                                             machine_spec=spec)
+        capacity = sum(r.capacity_mips("default") for r in topo.regions)
+        implied_util = demand / capacity
+        assert 0.4 <= implied_util <= 0.9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            size_topology_for_utilization(0.0)
+        with pytest.raises(ValueError):
+            size_topology_for_utilization(100.0, target_utilization=1.5)

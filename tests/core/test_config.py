@@ -1,0 +1,84 @@
+"""Tests for the Configerator-style config system (§4.1/§4.3)."""
+
+import pytest
+
+from repro.core import CachedConfig, ConfigStore
+from repro.sim import Simulator
+
+
+class TestConfigStore:
+    def test_value_invisible_before_propagation(self):
+        sim = Simulator()
+        store = ConfigStore(sim, propagation_delay_s=5.0)
+        store.publish("k", 1)
+        assert store.get("k", default="none") == "none"
+        sim.run_until(5.0)
+        assert store.get("k") == 1
+
+    def test_versions_increment(self):
+        sim = Simulator()
+        store = ConfigStore(sim, propagation_delay_s=0.0)
+        assert store.publish("k", "a") == 1
+        assert store.publish("k", "b") == 2
+        sim.run_until(1.0)
+        assert store.version("k") == 2
+        assert store.get("k") == "b"
+
+    def test_subscription_fires_on_visibility(self):
+        sim = Simulator()
+        store = ConfigStore(sim, propagation_delay_s=2.0)
+        seen = []
+        store.subscribe("k", lambda key, value: seen.append((sim.now, value)))
+        store.publish("k", 42)
+        sim.run_until(10.0)
+        assert seen == [(2.0, 42)]
+
+    def test_latest_visible_wins(self):
+        sim = Simulator()
+        store = ConfigStore(sim, propagation_delay_s=10.0)
+        store.publish("k", "first")
+        sim.run_until(5.0)
+        store.publish("k", "second")
+        sim.run_until(12.0)
+        assert store.get("k") == "first"   # second not yet visible
+        sim.run_until(16.0)
+        assert store.get("k") == "second"
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigStore(Simulator(), propagation_delay_s=-1)
+
+
+class TestCachedConfig:
+    def test_default_until_refresh(self):
+        sim = Simulator()
+        store = ConfigStore(sim, propagation_delay_s=0.0)
+        cache = CachedConfig(sim, store, "k", default="d",
+                             refresh_interval_s=10.0)
+        assert cache.value == "d"
+        store.publish("k", "live")
+        sim.run_until(15.0)
+        assert cache.value == "live"
+
+    def test_survives_publisher_silence(self):
+        # §4.1: cached configs keep working when controllers die.
+        sim = Simulator()
+        store = ConfigStore(sim, propagation_delay_s=0.0)
+        store.publish("k", "v1")
+        sim.run_until(1.0)
+        cache = CachedConfig(sim, store, "k", default=None,
+                             refresh_interval_s=5.0)
+        assert cache.value == "v1"
+        # No further publishes for a long time: value persists.
+        sim.run_until(10_000.0)
+        assert cache.value == "v1"
+
+    def test_stop_freezes_cache(self):
+        sim = Simulator()
+        store = ConfigStore(sim, propagation_delay_s=0.0)
+        cache = CachedConfig(sim, store, "k", default=0,
+                             refresh_interval_s=5.0)
+        cache.stop()
+        store.publish("k", 99)
+        sim.run_until(100.0)
+        assert cache.value == 0

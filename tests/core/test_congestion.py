@@ -1,0 +1,164 @@
+"""Tests for AIMD, concurrency limits, and slow start (§4.6.3)."""
+
+import pytest
+
+from repro.core import CongestionController, CongestionParams
+from repro.workloads import FunctionSpec
+
+
+def make_controller(**overrides):
+    defaults = dict(multiplicative_decrease=0.5, additive_increase_rps=10.0,
+                    adjust_window_s=60.0, backpressure_threshold_per_min=100.0,
+                    slow_start_threshold_calls=100.0, slow_start_growth=0.2)
+    defaults.update(overrides)
+    return CongestionController(CongestionParams(**defaults))
+
+
+class TestAimd:
+    def test_decrease_on_backpressure_over_threshold(self):
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f"))
+        # Simulate a window of dispatches at ~200 RPS with heavy exceptions.
+        for _ in range(1000):
+            if ctl.can_dispatch("f", 0.0):
+                ctl.on_dispatch("f")
+        ctl.on_backpressure("f", "svc", 150.0)
+        ctl.adjust(60.0)
+        r1 = ctl.rps_limit("f")
+        assert r1 < 1e9  # engaged and anchored to the observed rate
+        ctl.on_backpressure("f", "svc", 150.0)
+        ctl.adjust(120.0)
+        # Multiplicative decrease: halved (M = 0.5).
+        assert ctl.rps_limit("f") == pytest.approx(r1 * 0.5)
+
+    def test_additive_increase_when_clear(self):
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f"))
+        ctl.on_dispatch("f")
+        ctl.on_backpressure("f", "svc", 150.0)
+        ctl.adjust(60.0)
+        r1 = ctl.rps_limit("f")
+        ctl.adjust(120.0)  # clean window
+        assert ctl.rps_limit("f") == pytest.approx(r1 + 10.0)
+
+    def test_below_threshold_no_decrease(self):
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f"))
+        ctl.on_backpressure("f", "svc", 50.0)  # below 100/min
+        ctl.adjust(60.0)
+        assert ctl.rps_limit("f") == pytest.approx(1e9)
+
+    def test_per_service_thresholds(self):
+        # §4.6.3: thresholds set per downstream service by its owner.
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f"))
+        ctl.set_service_threshold("tolerant", 5000.0)
+        ctl.on_backpressure("f", "tolerant", 1000.0)
+        ctl.adjust(60.0)
+        assert ctl.rps_limit("f") == pytest.approx(1e9)  # under 5000/min
+        ctl.on_backpressure("f", "tolerant", 6000.0)
+        ctl.adjust(120.0)
+        assert ctl.rps_limit("f") < 1e9
+
+    def test_limit_floor(self):
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f"))
+        for window in range(1, 60):
+            ctl.on_backpressure("f", "svc", 500.0)
+            ctl.adjust(window * 60.0)
+        assert ctl.rps_limit("f") == pytest.approx(ctl.params.min_rps)
+
+    def test_full_recovery_disengages(self):
+        ctl = make_controller(additive_increase_rps=1e9)
+        ctl.register(FunctionSpec(name="f"))
+        ctl.on_dispatch("f")
+        ctl.on_backpressure("f", "svc", 150.0)
+        ctl.adjust(60.0)
+        ctl.adjust(120.0)  # huge additive step → back to initial
+        assert ctl.rps_limit("f") == pytest.approx(1e9)
+
+
+class TestConcurrencyLimit:
+    def test_cap_enforced(self):
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f", concurrency_limit=2))
+        assert ctl.can_dispatch("f", 0.0)
+        ctl.on_dispatch("f")
+        assert ctl.can_dispatch("f", 0.0)
+        ctl.on_dispatch("f")
+        assert not ctl.can_dispatch("f", 0.0)
+        assert ctl.concurrency_denials == 1
+
+    def test_finish_frees_slot(self):
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f", concurrency_limit=1))
+        ctl.on_dispatch("f")
+        ctl.on_finish("f")
+        assert ctl.can_dispatch("f", 0.0)
+
+    def test_unbalanced_finish_raises(self):
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f"))
+        with pytest.raises(RuntimeError):
+            ctl.on_finish("f")
+
+    def test_r_equals_rate_times_exec_time(self):
+        # §4.6.3: R = r × p concurrent instances.
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f"))
+        state = ctl._functions["f"]
+        state.rps_limit = 10.0
+        assert ctl.max_concurrency_estimate("f", 3.0) == pytest.approx(30.0)
+
+
+class TestSlowStart:
+    def test_free_below_threshold(self):
+        # W=1 min, T=100: under 100 calls per window no gating applies.
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f"))
+        for _ in range(99):
+            assert ctl.can_dispatch("f", 0.0)
+            ctl.on_dispatch("f")
+
+    def test_growth_capped_at_alpha(self):
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f"))
+        dispatched_per_window = []
+        for window in range(6):
+            count = 0
+            for _ in range(10_000):
+                if ctl.can_dispatch("f", window * 60.0):
+                    ctl.on_dispatch("f")
+                    ctl.on_finish("f")
+                    count += 1
+            dispatched_per_window.append(count)
+            ctl.adjust((window + 1) * 60.0)
+        # First window: T = 100.  Each later window ≤ prev × 1.2.
+        assert dispatched_per_window[0] == 100
+        for prev, cur in zip(dispatched_per_window, dispatched_per_window[1:]):
+            assert cur <= prev * 1.2 + 1
+        assert dispatched_per_window[-1] > dispatched_per_window[0]
+
+    def test_denial_counted(self):
+        ctl = make_controller()
+        ctl.register(FunctionSpec(name="f"))
+        for _ in range(150):
+            if ctl.can_dispatch("f", 0.0):
+                ctl.on_dispatch("f")
+        assert ctl.slow_start_denials == 50
+
+
+class TestValidation:
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            CongestionParams(multiplicative_decrease=1.5)
+        with pytest.raises(ValueError):
+            CongestionParams(additive_increase_rps=0)
+
+    def test_unregistered_function_raises(self):
+        with pytest.raises(KeyError):
+            make_controller().can_dispatch("nope", 0.0)
+
+    def test_service_threshold_validation(self):
+        with pytest.raises(ValueError):
+            make_controller().set_service_threshold("svc", 0.0)

@@ -1,0 +1,117 @@
+"""End-to-end conservation invariants: no call is ever lost.
+
+At-least-once semantics (§4.3) means every accepted call must end up
+exactly one of: completed, failed (retries exhausted / isolation),
+still pending (DurableQ/buffer/RunQ), or running — across retries,
+throttling, worker rejections, and cross-region pulls.
+"""
+
+import math
+
+import pytest
+
+from repro import PlatformParams, Simulator, XFaaS, build_topology
+from repro.cluster import MachineSpec
+from repro.workloads import (Criticality, FunctionSpec, LogNormal, QuotaType,
+                             ResourceProfile, RetryPolicy)
+
+
+def profile(cpu=50.0, mem=64.0, exec_s=0.5, sigma=0.5):
+    return ResourceProfile(
+        cpu_minstr=LogNormal(mu=math.log(cpu), sigma=sigma),
+        memory_mb=LogNormal(mu=math.log(mem), sigma=sigma),
+        exec_time_s=LogNormal(mu=math.log(exec_s), sigma=sigma))
+
+
+def account(platform):
+    completed = sum(s.completed_count for s in platform.schedulers.values())
+    failed = sum(s.failed_count for s in platform.schedulers.values())
+    pending = platform.pending_backlog()
+    running = sum(w.running_count for w in platform.all_workers)
+    # Calls accepted by submitters but not yet persisted (batch in
+    # flight) — normally zero at quiescence.
+    batched = sum(len(f.normal._batch) + len(f.spiky._batch)
+                  for f in platform.frontends.values())
+    return completed, failed, pending, running, batched
+
+
+class TestConservation:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_all_calls_accounted_at_quiescence(self, seed):
+        sim = Simulator(seed=seed)
+        topo = build_topology(n_regions=3, workers_per_unit=3)
+        platform = XFaaS(sim, topo)
+        for i, quota_type in enumerate([QuotaType.RESERVED,
+                                        QuotaType.OPPORTUNISTIC]):
+            platform.register_function(FunctionSpec(
+                name=f"f{i}", quota_type=quota_type, profile=profile()))
+        task = sim.every(1.0, lambda: [platform.submit("f0"),
+                                       platform.submit("f1")])
+        sim.run_until(600.0)
+        task.cancel()
+        sim.run_until(4000.0)  # drain
+        completed, failed, pending, running, batched = account(platform)
+        accepted = platform.submitted_count - platform.throttled_count
+        assert completed + failed + pending + running + batched == accepted
+        assert pending == 0 and running == 0
+        assert completed > 0
+
+    def test_conservation_under_worker_scarcity(self):
+        # One tiny worker, heavy calls: most work queues, nothing lost.
+        sim = Simulator(seed=9)
+        topo = build_topology(
+            n_regions=1, workers_per_unit=1,
+            machine_spec=MachineSpec(cores=1, core_mips=500, threads=2))
+        platform = XFaaS(sim, topo)
+        platform.register_function(FunctionSpec(
+            name="heavy", profile=profile(cpu=2000.0, exec_s=5.0)))
+        for _ in range(100):
+            platform.submit("heavy")
+        sim.run_until(120.0)
+        completed, failed, pending, running, batched = account(platform)
+        assert completed + failed + pending + running + batched == 100
+        assert pending > 0  # genuinely backlogged
+
+    def test_conservation_with_failures_and_retries(self):
+        sim = Simulator(seed=10)
+        topo = build_topology(n_regions=2, workers_per_unit=2)
+        platform = XFaaS(sim, topo)
+        platform.register_function(FunctionSpec(
+            name="flaky", profile=profile(),
+            retry_policy=RetryPolicy(max_attempts=2, retry_delay_s=1.0)))
+        # Force every other completion to report an error.
+        from repro.core import CallOutcome
+        flip = {"n": 0}
+        for region, scheduler in platform.schedulers.items():
+            original = scheduler.on_call_finished
+
+            def wrapped(call, outcome, original=original):
+                flip["n"] += 1
+                if flip["n"] % 2 == 0 and outcome is CallOutcome.OK:
+                    outcome = CallOutcome.ERROR
+                original(call, outcome)
+            for worker in platform.workers_by_region[region]:
+                worker.on_finish = wrapped
+        for _ in range(60):
+            platform.submit("flaky")
+        sim.run_until(600.0)
+        completed, failed, pending, running, batched = account(platform)
+        assert completed + failed + pending + running + batched == 60
+        assert failed > 0 and completed > 0
+
+    def test_throttled_calls_traced_not_queued(self):
+        sim = Simulator(seed=11)
+        topo = build_topology(n_regions=1, workers_per_unit=2)
+        platform = XFaaS(sim, topo)
+        platform.client_limiter.set_limit("team-0", 1.0)
+        platform.register_function(FunctionSpec(name="f", profile=profile()))
+        for _ in range(50):
+            platform.submit("f")
+        sim.run_until(300.0)
+        assert platform.throttled_count > 0
+        throttled_traces = [t for t in platform.traces
+                            if t.outcome == "throttled"]
+        assert len(throttled_traces) == platform.throttled_count
+        completed, failed, pending, running, batched = account(platform)
+        accepted = platform.submitted_count - platform.throttled_count
+        assert completed + failed + pending + running + batched == accepted

@@ -1,0 +1,89 @@
+"""Property-based DurableQ tests: no call lost, no call duplicated."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DurableQ, FunctionCall
+from repro.sim import Simulator
+from repro.workloads import FunctionSpec
+
+# Operation alphabet for the stateful sequence:
+#   ("enqueue", fn_idx), ("poll", n), ("ack", k), ("nack", k), ("advance",)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("enqueue"), st.integers(0, 9)),
+        st.tuples(st.just("poll"), st.integers(1, 5)),
+        st.tuples(st.just("ack"), st.integers(0, 4)),
+        st.tuples(st.just("nack"), st.integers(0, 4)),
+        st.tuples(st.just("advance"), st.just(0)),
+    ),
+    min_size=1, max_size=80)
+
+
+class TestDurableQStateMachine:
+    @given(ops)
+    @settings(max_examples=80, deadline=None)
+    def test_conservation_and_uniqueness(self, operations):
+        sim = Simulator(seed=3)
+        q = DurableQ(sim, "q", "r", lease_timeout_s=1e9)
+        enqueued = set()
+        leased = {}
+        finished = set()
+        for op in operations:
+            kind, arg = op
+            if kind == "enqueue":
+                call = FunctionCall(
+                    spec=FunctionSpec(name=f"fn{arg}"),
+                    submit_time=sim.now, start_time=sim.now,
+                    region_submitted="r")
+                q.enqueue(call)
+                enqueued.add(call.call_id)
+            elif kind == "poll":
+                for call in q.poll("s", arg):
+                    # Never handed out twice while leased/finished.
+                    assert call.call_id not in leased
+                    assert call.call_id not in finished
+                    leased[call.call_id] = call
+            elif kind == "ack" and leased:
+                key = sorted(leased)[arg % len(leased)]
+                q.ack(leased.pop(key))
+                finished.add(key)
+            elif kind == "nack" and leased:
+                key = sorted(leased)[arg % len(leased)]
+                q.nack(leased[key])
+                del leased[key]
+            elif kind == "advance":
+                sim.run_until(sim.now + 10.0)
+        # Conservation: every enqueued call is exactly one of
+        # pending-in-queue, leased, or finished.
+        assert q.pending_count + len(leased) + len(finished) == len(enqueued)
+        # Everything still pending is drainable.
+        drained = []
+        while True:
+            batch = q.poll("s2", 50)
+            if not batch:
+                break
+            drained.extend(batch)
+            for c in batch:
+                q.ack(c)
+        assert len(drained) == len(enqueued) - len(finished) - len(leased)
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_start_time_gating(self, delays):
+        """A call is never offered before its execution start time."""
+        sim = Simulator(seed=4)
+        q = DurableQ(sim, "q", "r")
+        calls = []
+        for d in delays:
+            call = FunctionCall(spec=FunctionSpec(name="f"),
+                                submit_time=sim.now,
+                                start_time=sim.now + d,
+                                region_submitted="r")
+            q.enqueue(call)
+            calls.append(call)
+        for checkpoint in (0.0, 50.0, 100.0, 250.0):
+            sim.run_until(checkpoint)
+            for call in q.poll("s", 100):
+                assert call.start_time <= sim.now
+                q.ack(call)

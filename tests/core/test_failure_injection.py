@@ -1,0 +1,117 @@
+"""Failure-injection tests: scheduler death, controller outages, rollouts."""
+
+import math
+
+import pytest
+
+from repro import PlatformParams, Simulator, XFaaS, build_topology
+from repro.core import (RolloutParams, SchedulerParams, TRAFFIC_MATRIX_KEY)
+from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
+
+
+def profile(cpu=50.0, exec_s=0.3):
+    return ResourceProfile(
+        cpu_minstr=LogNormal(mu=math.log(cpu), sigma=0.3),
+        memory_mb=LogNormal(mu=math.log(64.0), sigma=0.3),
+        exec_time_s=LogNormal(mu=math.log(exec_s), sigma=0.3))
+
+
+class TestSchedulerFailure:
+    def test_lease_expiry_lets_peer_region_recover_work(self):
+        """A dead scheduler's leased calls are redelivered after the
+        lease timeout and can be pulled by another region (§4.3)."""
+        sim = Simulator(seed=14)
+        topo = build_topology(n_regions=2, workers_per_unit=3)
+        platform = XFaaS(sim, topo)
+        platform.register_function(FunctionSpec(name="f", profile=profile()))
+        r0, r1 = topo.region_names
+
+        # Kill r0's scheduler immediately: it leases nothing more.
+        platform.schedulers[r0].stop()
+        # Tell r1's scheduler to pull from r0 as well.
+        platform.config.publish(TRAFFIC_MATRIX_KEY,
+                                {r1: {r1: 0.5, r0: 0.5}})
+        sim.run_until(30.0)
+        calls = [platform.submit("f", region=r0) for _ in range(20)]
+        sim.run_until(600.0)
+        done = sum(1 for c in calls if c.state.value == "completed")
+        assert done == 20
+        # Every completion happened through region r1's scheduler.
+        assert all(c.scheduler_region == r1 for c in calls
+                   if c.state.value == "completed")
+
+    def test_inflight_lease_expires_and_retries(self):
+        """Calls leased (buffered) by a scheduler that dies mid-flight
+        are re-offered after the lease timeout."""
+        sim = Simulator(seed=15)
+        topo = build_topology(n_regions=2, workers_per_unit=3)
+        params = PlatformParams(scheduler=SchedulerParams(
+            poll_interval_s=1.0, lease_extension_interval_s=30.0))
+        platform = XFaaS(sim, topo, params)
+        # A function gated off so calls sit leased in FuncBuffers.
+        platform.register_function(
+            FunctionSpec(name="f", concurrency_limit=1,
+                         profile=profile(exec_s=30.0)))
+        r0, r1 = topo.region_names
+        calls = [platform.submit("f", region=r0) for _ in range(5)]
+        sim.run_until(10.0)
+        # r0 scheduler dies holding leases on the queued calls.
+        platform.schedulers[r0].stop()
+        platform.config.publish(TRAFFIC_MATRIX_KEY,
+                                {r1: {r1: 0.5, r0: 0.5}})
+        sim.run_until(1200.0)
+        done = sum(1 for c in calls if c.state.value == "completed")
+        assert done == 5
+
+
+class TestCodeRolloutUnderTraffic:
+    def _run(self, cooperative: bool):
+        sim = Simulator(seed=16)
+        topo = build_topology(n_regions=1, workers_per_unit=6)
+        params = PlatformParams(
+            cooperative_jit=cooperative,
+            start_code_deployer=True,
+            rollout=RolloutParams(push_interval_s=3600.0,
+                                  canary_workers=1,
+                                  phase2_fraction=0.2,
+                                  phase1_duration_s=60.0,
+                                  phase2_duration_s=120.0,
+                                  distribution_delay_s=30.0))
+        platform = XFaaS(sim, topo, params)
+        platform.register_function(FunctionSpec(
+            name="hot", profile=profile(cpu=400.0, exec_s=0.1)))
+        sim.every(0.5, lambda: [platform.submit("hot") for _ in range(4)])
+        sim.run_until(2.5 * 3600.0)  # two rollouts land
+        latencies = sorted(
+            t.completion_latency for t in platform.traces.completed()
+            if t.submit_time > 3600.0)
+        return latencies[int(0.99 * len(latencies))], \
+            platform.completed_count()
+
+    def test_rollouts_complete_and_traffic_survives(self):
+        p99_coop, completed_coop = self._run(cooperative=True)
+        p99_solo, completed_solo = self._run(cooperative=False)
+        # Both configurations keep serving through rollouts.
+        assert completed_coop > 0.9 * completed_solo
+        # Cooperative JIT's shorter warm-up shows up as lower tail
+        # latency after code pushes.
+        assert p99_coop <= p99_solo
+
+
+class TestControllerOutage:
+    def test_all_controllers_down_traffic_flows(self):
+        sim = Simulator(seed=18)
+        topo = build_topology(n_regions=2, workers_per_unit=3)
+        platform = XFaaS(sim, topo)
+        platform.register_function(FunctionSpec(name="f", profile=profile()))
+        sim.run_until(300.0)  # controllers publish at least once
+        platform.gtc.stop()
+        platform.utilization_controller.stop()
+        platform.locality_optimizer.stop()
+        platform.rim.stop()
+        before = platform.completed_count()
+        task = sim.every(1.0, lambda: platform.submit("f"))
+        sim.run_until(1500.0)  # "tens of minutes" of outage (§4.1)
+        task.cancel()
+        sim.run_until(1800.0)
+        assert platform.completed_count() >= before + 1100

@@ -1,0 +1,76 @@
+"""Tests for namespaces and Bell–LaPadula data isolation (§4.7)."""
+
+import pytest
+
+from repro.core import (IsolationViolation, NamespaceRegistry, check_flow,
+                        flow_allowed)
+from repro.workloads import FunctionSpec
+
+
+class TestBellLaPadula:
+    def test_data_flows_low_to_high(self):
+        # §4.7: data can only flow from lower to higher classification.
+        assert flow_allowed(source_level=0, execution_level=2)
+        assert flow_allowed(source_level=1, execution_level=1)
+
+    def test_high_to_low_denied(self):
+        assert not flow_allowed(source_level=2, execution_level=0)
+
+    def test_check_flow_raises(self):
+        with pytest.raises(IsolationViolation):
+            check_flow(3, 1, "secret-fn")
+        check_flow(1, 3)  # no raise
+
+    def test_violation_message_names_function(self):
+        with pytest.raises(IsolationViolation, match="secret-fn"):
+            check_flow(5, 0, "secret-fn")
+
+
+class TestNamespaceRegistry:
+    def test_create_and_assign(self):
+        reg = NamespaceRegistry()
+        reg.create("php-ns", runtime="php")
+        spec = FunctionSpec(name="f", namespace="php-ns")
+        ns = reg.assign(spec)
+        assert ns.name == "php-ns"
+        assert reg.namespace_of("f") == "php-ns"
+
+    def test_assign_creates_missing_namespace(self):
+        reg = NamespaceRegistry()
+        reg.assign(FunctionSpec(name="f", namespace="new-ns"))
+        assert "new-ns" in [n.name for n in reg.namespaces()]
+
+    def test_function_belongs_to_single_namespace(self):
+        # §2.4: a function belongs to a single namespace.
+        reg = NamespaceRegistry()
+        reg.assign(FunctionSpec(name="f", namespace="a"))
+        with pytest.raises(ValueError):
+            reg.assign(FunctionSpec(name="f", namespace="b"))
+
+    def test_namespace_single_runtime(self):
+        # §2.4: each namespace supports only one runtime.
+        reg = NamespaceRegistry()
+        reg.create("ns", runtime="php")
+        with pytest.raises(ValueError):
+            reg.create("ns", runtime="python")
+
+    def test_create_idempotent_same_runtime(self):
+        reg = NamespaceRegistry()
+        a = reg.create("ns", runtime="php")
+        b = reg.create("ns", runtime="php")
+        assert a is b
+
+    def test_functions_in(self):
+        reg = NamespaceRegistry()
+        reg.assign(FunctionSpec(name="b", namespace="ns"))
+        reg.assign(FunctionSpec(name="a", namespace="ns"))
+        reg.assign(FunctionSpec(name="c", namespace="other"))
+        assert reg.functions_in("ns") == ["a", "b"]
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            NamespaceRegistry().namespace_of("ghost")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            NamespaceRegistry().create("")

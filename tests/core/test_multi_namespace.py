@@ -1,0 +1,64 @@
+"""Multiple namespaces: dedicated worker pools, shared simulation.
+
+§2.4/§4.5: a namespace is a strongly isolated environment with its own
+worker pool and runtime; each platform instance hosts one namespace, and
+several instances share the simulated cluster — mirroring how XFaaS's
+namespaces share datacenters but not workers.
+"""
+
+import math
+
+import pytest
+
+from repro import PlatformParams, Simulator, XFaaS, build_topology
+from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
+
+
+def profile():
+    return ResourceProfile(
+        cpu_minstr=LogNormal(mu=math.log(50.0), sigma=0.3),
+        memory_mb=LogNormal(mu=math.log(64.0), sigma=0.3),
+        exec_time_s=LogNormal(mu=math.log(0.3), sigma=0.3))
+
+
+class TestMultiNamespace:
+    def test_two_namespaces_share_a_cluster(self):
+        sim = Simulator(seed=20)
+        topo = build_topology(n_regions=2, workers_per_unit=3,
+                              namespace="php",
+                              extra_namespaces={"python": 2})
+        php = XFaaS(sim, topo, PlatformParams(namespace="php"))
+        py = XFaaS(sim, topo, PlatformParams(namespace="python"))
+
+        php.register_function(FunctionSpec(name="web-hook",
+                                           namespace="php",
+                                           profile=profile()))
+        py.register_function(FunctionSpec(name="ml-feature",
+                                          namespace="python",
+                                          profile=profile()))
+        for _ in range(30):
+            php.submit("web-hook")
+            py.submit("ml-feature")
+        sim.run_until(120.0)
+
+        assert php.completed_count() == 30
+        assert py.completed_count() == 30
+        # Physical isolation: no worker appears in both platforms.
+        php_workers = {w.name for w in php.all_workers}
+        py_workers = {w.name for w in py.all_workers}
+        assert not php_workers & py_workers
+
+    def test_function_cannot_register_across_namespaces(self):
+        sim = Simulator(seed=21)
+        topo = build_topology(n_regions=1, workers_per_unit=2,
+                              namespace="php")
+        php = XFaaS(sim, topo, PlatformParams(namespace="php"))
+        with pytest.raises(ValueError):
+            php.register_function(
+                FunctionSpec(name="other", namespace="erlang"))
+
+    def test_namespace_pools_sized_independently(self):
+        topo = build_topology(n_regions=3, workers_per_unit=10,
+                              namespace="php",
+                              extra_namespaces={"python": 4})
+        assert topo.total_workers("php") > topo.total_workers("python") > 0

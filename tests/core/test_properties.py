@@ -1,0 +1,129 @@
+"""Property-based tests of core invariants (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import NetworkModel
+from repro.core import FuncBuffer, FunctionCall, RunQ, TokenBucket
+from repro.core.gtc import compute_traffic_matrix
+from repro.workloads import Criticality, FunctionSpec
+
+criticalities = st.sampled_from(list(Criticality))
+deadlines = st.floats(min_value=1.0, max_value=86_400.0)
+
+
+def _call(criticality, deadline):
+    spec = FunctionSpec(name="f", criticality=criticality,
+                        deadline_s=deadline)
+    return FunctionCall(spec=spec, submit_time=0.0, start_time=0.0,
+                        region_submitted="r")
+
+
+class TestFuncBufferProperties:
+    @given(st.lists(st.tuples(criticalities, deadlines), min_size=1,
+                    max_size=40))
+    @settings(max_examples=60)
+    def test_pop_order_is_criticality_then_deadline(self, items):
+        buf = FuncBuffer("f")
+        for criticality, deadline in items:
+            buf.push(_call(criticality, deadline))
+        popped = []
+        while len(buf):
+            popped.append(buf.pop())
+        keys = [(-c.criticality, c.deadline_time) for c in popped]
+        assert keys == sorted(keys)
+
+    @given(st.lists(st.tuples(criticalities, deadlines), min_size=1,
+                    max_size=40))
+    @settings(max_examples=30)
+    def test_push_pop_conserves_calls(self, items):
+        buf = FuncBuffer("f")
+        calls = [_call(c, d) for c, d in items]
+        for call in calls:
+            buf.push(call)
+        popped = set()
+        while len(buf):
+            popped.add(buf.pop().call_id)
+        assert popped == {c.call_id for c in calls}
+
+
+class TestRunQProperties:
+    @given(st.lists(st.tuples(criticalities, deadlines), min_size=1,
+                    max_size=30))
+    @settings(max_examples=40)
+    def test_priority_pop(self, items):
+        q = RunQ(capacity=100)
+        for criticality, deadline in items:
+            q.push(_call(criticality, deadline))
+        out = []
+        while True:
+            call = q.pop()
+            if call is None:
+                break
+            out.append((-call.criticality, call.deadline_time))
+        assert out == sorted(out)
+
+
+class TestTokenBucketProperties:
+    @given(st.floats(min_value=0.01, max_value=1000.0),
+           st.floats(min_value=0.5, max_value=60.0),
+           st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_never_negative_and_capacity_bounded(self, rate, burst, gaps):
+        bucket = TokenBucket(rate=rate, burst_s=burst)
+        t = 0.0
+        for gap in gaps:
+            t += gap
+            bucket.try_take(t)
+            assert bucket.tokens >= 0.0
+            assert bucket.tokens <= bucket.capacity + 1e-9
+
+    @given(st.floats(min_value=0.5, max_value=100.0),
+           st.integers(min_value=1, max_value=400))
+    @settings(max_examples=40)
+    def test_long_run_rate_respected(self, rate, n_attempts):
+        # Over a horizon, grants never exceed capacity + rate × horizon.
+        bucket = TokenBucket(rate=rate, burst_s=5.0)
+        horizon = 30.0
+        grants = 0
+        for i in range(n_attempts):
+            t = horizon * i / n_attempts
+            if bucket.try_take(t):
+                grants += 1
+        assert grants <= bucket.capacity + rate * horizon + 1
+
+
+class TestTrafficMatrixProperties:
+    region_names = [f"r{i}" for i in range(5)]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5),
+                    min_size=5, max_size=5),
+           st.lists(st.floats(min_value=1.0, max_value=1e4),
+                    min_size=5, max_size=5))
+    @settings(max_examples=60)
+    def test_rows_normalized_and_nonnegative(self, backlogs, capacities):
+        net = NetworkModel(self.region_names)
+        matrix = compute_traffic_matrix(
+            dict(zip(self.region_names, backlogs)),
+            dict(zip(self.region_names, capacities)), net)
+        for region, row in matrix.items():
+            assert all(f >= -1e-12 for f in row.values())
+            assert math.isclose(sum(row.values()), 1.0, rel_tol=1e-6)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5),
+                    min_size=5, max_size=5))
+    @settings(max_examples=40)
+    def test_equal_capacity_no_self_abandonment(self, backlogs):
+        # A region with backlog always keeps pulling some of its own
+        # work or exports it fully to others; nothing is dropped.
+        net = NetworkModel(self.region_names)
+        capacities = {r: 100.0 for r in self.region_names}
+        backlog = dict(zip(self.region_names, backlogs))
+        matrix = compute_traffic_matrix(backlog, capacities, net)
+        for j, b in backlog.items():
+            if b > 1e-6:  # subnormal backlogs underflow in row division
+                pulled = sum(matrix[i].get(j, 0.0) for i in matrix)
+                assert pulled > 0

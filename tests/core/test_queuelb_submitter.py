@@ -1,0 +1,181 @@
+"""Tests for QueueLB routing and the Submitter pools (§4.2, §4.3)."""
+
+import pytest
+
+from repro.core import (CallState, ClientRateLimiter, ConfigStore, DurableQ,
+                        FunctionCall, QueueLB, ROUTING_KEY, Submitter,
+                        SubmitterFrontend, SubmitterParams,
+                        capacity_proportional_routing, local_only_routing)
+from repro.sim import Simulator
+from repro.workloads import FunctionSpec
+
+
+def make_call(sim, name="f", team="team-a", args_kb=4.0):
+    spec = FunctionSpec(name=name, team=team)
+    return FunctionCall(spec=spec, submit_time=sim.now, start_time=sim.now,
+                        region_submitted="a", args_size_kb=args_kb)
+
+
+def build_queuelb(sim, regions=("a", "b")):
+    store = ConfigStore(sim, propagation_delay_s=0.0)
+    dqs = {r: [DurableQ(sim, f"dq/{r}/0", r), DurableQ(sim, f"dq/{r}/1", r)]
+           for r in regions}
+    lb = QueueLB(sim, "a", dqs, store)
+    return lb, dqs, store
+
+
+class TestRoutingPolicies:
+    def test_local_only(self):
+        policy = local_only_routing(["a", "b"])
+        assert policy["a"] == {"a": 1.0}
+
+    def test_capacity_proportional_rows_sum_to_one(self):
+        policy = capacity_proportional_routing(
+            ["a", "b", "c"], {"a": 4, "b": 2, "c": 2}, locality_bias=0.5)
+        for row in policy.values():
+            assert sum(row.values()) == pytest.approx(1.0)
+
+    def test_locality_bias_keeps_traffic_home(self):
+        policy = capacity_proportional_routing(
+            ["a", "b"], {"a": 1, "b": 1}, locality_bias=0.8)
+        assert policy["a"]["a"] > policy["a"]["b"]
+
+    def test_invalid_bias(self):
+        with pytest.raises(ValueError):
+            capacity_proportional_routing(["a"], {"a": 1}, locality_bias=1.5)
+
+
+class TestQueueLB:
+    def test_default_routes_locally(self):
+        sim = Simulator(seed=1)
+        lb, dqs, _ = build_queuelb(sim)
+        for _ in range(20):
+            lb.route(make_call(sim))
+        assert sum(q.enqueued_count for q in dqs["a"]) == 20
+        assert sum(q.enqueued_count for q in dqs["b"]) == 0
+
+    def test_uuid_sharding_spreads_over_shards(self):
+        sim = Simulator(seed=2)
+        lb, dqs, _ = build_queuelb(sim)
+        for _ in range(200):
+            lb.route(make_call(sim))
+        counts = [q.enqueued_count for q in dqs["a"]]
+        assert all(c > 50 for c in counts)
+
+    def test_routing_policy_shifts_traffic(self):
+        sim = Simulator(seed=3)
+        lb, dqs, store = build_queuelb(sim)
+        store.publish(ROUTING_KEY, {"a": {"a": 0.0, "b": 1.0}})
+        sim.run_until(60.0)  # let the cached config refresh
+        for _ in range(50):
+            lb.route(make_call(sim))
+        assert sum(q.enqueued_count for q in dqs["b"]) == 50
+
+    def test_enqueued_call_state(self):
+        sim = Simulator(seed=4)
+        lb, _, _ = build_queuelb(sim)
+        call = make_call(sim)
+        lb.route(call)
+        assert call.state is CallState.QUEUED
+        assert call.durableq_region == "a"
+
+
+class TestSubmitter:
+    def _submitter(self, sim, pool="normal", **params):
+        lb, dqs, _ = build_queuelb(sim)
+        limiter = ClientRateLimiter(default_rps=1000.0)
+        throttled = []
+        sub = Submitter(sim, "a", lb, limiter,
+                        SubmitterParams(**params), pool=pool,
+                        on_throttle=lambda c: throttled.append(c))
+        return sub, dqs, throttled
+
+    def test_batching_delays_enqueue(self):
+        sim = Simulator(seed=5)
+        sub, dqs, _ = self._submitter(sim, batch_flush_interval_s=0.1,
+                                      batch_max_size=1000)
+        sub.submit(make_call(sim))
+        assert sum(q.enqueued_count for q in dqs["a"]) == 0
+        sim.run_until(0.5)
+        assert sum(q.enqueued_count for q in dqs["a"]) == 1
+
+    def test_full_batch_flushes_immediately(self):
+        sim = Simulator(seed=6)
+        sub, dqs, _ = self._submitter(sim, batch_max_size=5)
+        for _ in range(5):
+            sub.submit(make_call(sim))
+        assert sum(q.enqueued_count for q in dqs["a"]) == 5
+
+    def test_big_args_spill_to_kv_store(self):
+        # §4.2: oversized arguments go to a distributed KV store.
+        sim = Simulator(seed=7)
+        sub, _, _ = self._submitter(sim, args_spill_threshold_kb=64.0)
+        call = make_call(sim, args_kb=500.0)
+        sub.submit(call)
+        assert call.args_spilled
+        assert sub.spill_count == 1
+
+    def test_client_rate_limit_throttles(self):
+        sim = Simulator(seed=8)
+        lb, _, _ = build_queuelb(sim)
+        limiter = ClientRateLimiter(default_rps=1.0, burst_s=2.0)
+        throttled = []
+        sub = Submitter(sim, "a", lb, limiter, SubmitterParams(),
+                        on_throttle=lambda c: throttled.append(c))
+        results = [sub.submit(make_call(sim)) for _ in range(10)]
+        assert results.count(True) == 2
+        assert len(throttled) == 8
+        assert throttled[0].state is CallState.THROTTLED
+
+    def test_spiky_client_detected_and_throttled_on_normal_pool(self):
+        # §4.2: spiky clients on the normal pool are throttled by default
+        # and operators get alerted.
+        sim = Simulator(seed=9)
+        sub, _, throttled = self._submitter(sim, spiky_rate_threshold=50.0)
+
+        def burst():
+            for _ in range(300):
+                sub.submit(make_call(sim, team="spiky-team"))
+        task = sim.every(1.0, burst)
+        sim.run_until(30.0)
+        task.cancel()
+        assert "spiky-team" in sub.spiky_alerts
+        assert len(throttled) > 0
+
+    def test_spiky_pool_does_not_throttle_spiky_clients(self):
+        sim = Simulator(seed=10)
+        sub, _, throttled = self._submitter(sim, pool="spiky",
+                                            spiky_rate_threshold=50.0)
+
+        def burst():
+            for _ in range(300):
+                sub.submit(make_call(sim, team="spiky-team"))
+        task = sim.every(1.0, burst)
+        sim.run_until(30.0)
+        task.cancel()
+        assert len(throttled) == 0
+
+
+class TestSubmitterFrontend:
+    def test_routes_registered_spiky_clients(self):
+        sim = Simulator(seed=11)
+        lb, _, _ = build_queuelb(sim)
+        limiter = ClientRateLimiter()
+        normal = Submitter(sim, "a", lb, limiter, pool="normal")
+        spiky = Submitter(sim, "a", lb, limiter, pool="spiky")
+        frontend = SubmitterFrontend(normal, spiky)
+        frontend.register_spiky_client("big-team")
+        frontend.submit(make_call(sim, team="big-team"))
+        frontend.submit(make_call(sim, team="other"))
+        assert spiky.accepted_count == 1
+        assert normal.accepted_count == 1
+
+    def test_mismatched_regions_rejected(self):
+        sim = Simulator(seed=12)
+        lb, _, _ = build_queuelb(sim)
+        limiter = ClientRateLimiter()
+        normal = Submitter(sim, "a", lb, limiter, pool="normal")
+        lb2, _, _ = build_queuelb(sim)
+        spiky = Submitter(sim, "b", lb2, limiter, pool="spiky")
+        with pytest.raises(ValueError):
+            SubmitterFrontend(normal, spiky)

@@ -1,0 +1,140 @@
+"""Tests for quotas and the Central Rate Limiter (§4.6.1)."""
+
+import pytest
+
+from repro.core import CentralRateLimiter, ClientRateLimiter, TokenBucket
+from repro.workloads import FunctionSpec, QuotaType
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        b = TokenBucket(rate=10.0, burst_s=2.0)
+        assert b.tokens == pytest.approx(20.0)
+
+    def test_take_and_refill(self):
+        b = TokenBucket(rate=1.0, burst_s=5.0)
+        for _ in range(5):
+            assert b.try_take(0.0)
+        assert not b.try_take(0.0)
+        assert b.try_take(1.0)  # one second refills one token
+
+    def test_capacity_floored_at_one_token(self):
+        # Regression: low-RPS functions must not starve forever.
+        b = TokenBucket(rate=0.05, burst_s=10.0)
+        assert b.capacity >= 1.0
+        assert b.try_take(0.0)
+        assert not b.try_take(1.0)
+        assert b.try_take(21.0)  # 0.05/s × 20 s ≥ 1 token again
+
+    def test_zero_rate_blocks(self):
+        b = TokenBucket(rate=0.0)
+        assert not b.try_take(0.0)
+        assert not b.try_take(1000.0)
+
+    def test_set_rate_settles_tokens_first(self):
+        b = TokenBucket(rate=10.0, burst_s=1.0)
+        for _ in range(10):
+            b.try_take(0.0)
+        b.set_rate(1.0, 100.0)  # accrue 10 tokens at old rate first
+        assert b.tokens == pytest.approx(10.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0)
+
+
+class TestCentralRateLimiter:
+    def _spec(self, quota=1000.0, quota_type=QuotaType.RESERVED, name="f"):
+        return FunctionSpec(name=name, quota_minstr_per_s=quota,
+                            quota_type=quota_type)
+
+    def test_rps_from_quota_over_cost(self):
+        # §4.6.1: RPS limit = quota / average cost per invocation.
+        limiter = CentralRateLimiter(initial_cost_minstr=100.0)
+        limiter.register(self._spec(quota=1000.0))
+        assert limiter.rps_limit("f") == pytest.approx(10.0)
+
+    def test_observed_costs_update_limit(self):
+        limiter = CentralRateLimiter(initial_cost_minstr=100.0)
+        limiter.register(self._spec(quota=1000.0))
+        # Flood with observations: the cumulative mean converges to the
+        # observed cost, dominating the registration prior.
+        for _ in range(2000):
+            limiter.record_cost("f", 500.0)
+        assert limiter.rps_limit("f") == pytest.approx(2.0, rel=0.02)
+
+    def test_single_tail_sample_does_not_crater_limit(self):
+        # Heavy-tail robustness: one 5M-instr call must not collapse
+        # the limit (the EMA failure mode this design replaced).
+        limiter = CentralRateLimiter(initial_cost_minstr=100.0)
+        limiter.register(self._spec(quota=1000.0))
+        for _ in range(200):
+            limiter.record_cost("f", 100.0)
+        before = limiter.rps_limit("f")
+        limiter.record_cost("f", 5.0e6)
+        after = limiter.rps_limit("f")
+        assert after > before * 0.004  # EMA with α=0.05 would cut ~2500x
+        assert after == pytest.approx(
+            1000.0 / ((220 * 100.0 + 5.0e6) / 221), rel=1e-6)
+
+    def test_opportunistic_scaled_by_s(self):
+        # §4.6.2: r = r0 × S for opportunistic functions.
+        limiter = CentralRateLimiter(initial_cost_minstr=100.0)
+        limiter.register(self._spec(quota=1000.0,
+                                    quota_type=QuotaType.OPPORTUNISTIC))
+        assert limiter.rps_limit("f", s_multiplier=0.5) == pytest.approx(5.0)
+        assert limiter.rps_limit("f", s_multiplier=0.0) == 0.0
+
+    def test_reserved_ignores_s(self):
+        limiter = CentralRateLimiter(initial_cost_minstr=100.0)
+        limiter.register(self._spec(quota=1000.0))
+        assert limiter.rps_limit("f", s_multiplier=0.0) == pytest.approx(10.0)
+
+    def test_throttling_over_limit(self):
+        limiter = CentralRateLimiter(initial_cost_minstr=100.0)
+        limiter.register(self._spec(quota=100.0))  # 1 RPS, burst 10
+        grants = sum(1 for _ in range(50) if limiter.try_acquire("f", 0.0))
+        assert grants == 10  # burst capacity only
+        assert limiter.throttle_count == 40
+
+    def test_s_zero_stops_opportunistic(self):
+        limiter = CentralRateLimiter(initial_cost_minstr=100.0)
+        limiter.register(self._spec(quota=1.0e6,
+                                    quota_type=QuotaType.OPPORTUNISTIC))
+        assert not limiter.try_acquire("f", 100.0, s_multiplier=0.0)
+
+    def test_register_idempotent(self):
+        limiter = CentralRateLimiter()
+        spec = self._spec()
+        limiter.register(spec, expected_cost_minstr=50.0)
+        limiter.register(spec, expected_cost_minstr=999.0)
+        assert limiter.avg_cost("f") == 50.0
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            CentralRateLimiter().rps_limit("missing")
+
+
+class TestClientRateLimiter:
+    def test_default_limit_allows_normal_traffic(self):
+        limiter = ClientRateLimiter(default_rps=10.0, burst_s=1.0)
+        assert limiter.try_acquire("team", 0.0)
+
+    def test_burst_exhaustion_throttles(self):
+        limiter = ClientRateLimiter(default_rps=1.0, burst_s=2.0)
+        assert limiter.try_acquire("t", 0.0)
+        assert limiter.try_acquire("t", 0.0)
+        assert not limiter.try_acquire("t", 0.0)
+        assert limiter.throttle_count == 1
+
+    def test_per_client_isolation(self):
+        limiter = ClientRateLimiter(default_rps=1.0, burst_s=1.0)
+        assert limiter.try_acquire("a", 0.0)
+        assert limiter.try_acquire("b", 0.0)  # b unaffected by a
+
+    def test_set_limit(self):
+        limiter = ClientRateLimiter(default_rps=1.0, burst_s=1.0)
+        limiter.set_limit("vip", 100.0)
+        grants = sum(1 for _ in range(150)
+                     if limiter.try_acquire("vip", 0.0))
+        assert grants == 100

@@ -1,0 +1,152 @@
+"""Tests for the scheduler's dispatch pipeline mechanics.
+
+These pin down behaviours found the hard way during calibration:
+
+* the RunQ acts as a bounded *pipeline* of gated calls so completions
+  between ticks immediately refill workers (kick), and parked calls are
+  recycled (tokens refunded) at the next tick;
+* an unplaceable oversized call must not head-of-line-block either its
+  own function or others;
+* quota tokens consumed by calls that could not be placed are refunded,
+  so unplaceable work cannot hoard a function's token stream.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster import MachineSpec
+from repro.core import (CentralRateLimiter, CongestionController,
+                        ConfigStore, CongestionParams, DurableQ,
+                        FunctionCall, Scheduler, SchedulerParams, Worker,
+                        WorkerLB)
+from repro.core.call import CallState
+from repro.sim import Simulator
+from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
+
+
+def profile(cpu=100.0, mem=64.0, exec_s=1.0):
+    return ResourceProfile(
+        cpu_minstr=LogNormal(mu=math.log(cpu), sigma=0.0),
+        memory_mb=LogNormal(mu=math.log(mem), sigma=0.0),
+        exec_time_s=LogNormal(mu=math.log(exec_s), sigma=0.0))
+
+
+class Rig:
+    def __init__(self, seed=1, n_workers=1, cores=2, core_mips=500,
+                 threads=48, poll_interval=2.0):
+        self.sim = Simulator(seed=seed)
+        self.config = ConfigStore(self.sim, propagation_delay_s=0.0)
+        self.rate_limiter = CentralRateLimiter(initial_cost_minstr=100.0)
+        self.congestion = CongestionController(CongestionParams())
+        self.dqs = {"r0": [DurableQ(self.sim, "dq", "r0")]}
+        machine = MachineSpec(cores=cores, core_mips=core_mips,
+                              threads=threads)
+        self.workers = [Worker(self.sim, f"w{i}", "r0", machine=machine)
+                        for i in range(n_workers)]
+        self.lb = WorkerLB(self.sim, "r0", self.workers,
+                           group_of_function=lambda f: 0,
+                           n_groups_fn=lambda: 1)
+        self.scheduler = Scheduler(
+            self.sim, "r0", self.dqs, self.lb, self.rate_limiter,
+            self.congestion, self.config,
+            SchedulerParams(poll_interval_s=poll_interval))
+        for w in self.workers:
+            w.on_finish = self.scheduler.on_call_finished
+        self.sim.every(60.0, lambda: self.congestion.adjust(self.sim.now))
+
+    def register(self, spec, cost=100.0):
+        self.rate_limiter.register(spec, expected_cost_minstr=cost)
+        self.congestion.register(spec)
+
+    def enqueue(self, spec):
+        call = FunctionCall(spec=spec, submit_time=self.sim.now,
+                            start_time=self.sim.now, region_submitted="r0")
+        self.dqs["r0"][0].enqueue(call)
+        return call
+
+
+class TestPipeline:
+    def test_kick_fills_freed_slots_between_ticks(self):
+        # 1-second calls on a 2-core/500-MIPS worker, 2s scheduler tick:
+        # without the parked pipeline, half the capacity idles.
+        rig = Rig()
+        spec = FunctionSpec(name="f", quota_minstr_per_s=1.0e9,
+                            profile=profile(cpu=500.0, exec_s=0.5))
+        rig.register(spec)
+        for _ in range(400):
+            rig.enqueue(spec)
+        rig.sim.run_until(120.0)
+        # Theoretical max: 2 cores × 120 s / 1 core-s per call = 240.
+        assert rig.scheduler.completed_count >= 0.85 * 240
+
+    def test_parked_calls_recycled_not_leaked(self):
+        # Workers saturated by a long call: parked pipeline entries are
+        # recycled every tick; accounting stays balanced.
+        rig = Rig(cores=1, threads=1)
+        hog = FunctionSpec(name="hog", quota_minstr_per_s=1.0e9,
+                           profile=profile(cpu=50_000.0, exec_s=1.0))
+        light = FunctionSpec(name="light", quota_minstr_per_s=1.0e9,
+                             profile=profile(cpu=10.0, exec_s=0.1))
+        rig.register(hog)
+        rig.register(light)
+        rig.enqueue(hog)       # occupies the only thread for 100 s
+        for _ in range(20):
+            rig.enqueue(light)
+        rig.sim.run_until(50.0)
+        # Nothing dispatched beyond the hog yet; running accounting sane.
+        assert rig.congestion.running("light") == len(rig.scheduler.runq) \
+            + sum(1 for w in rig.workers
+                  for rc in w._running.values()
+                  if rc.call.function_name == "light")
+        rig.sim.run_until(300.0)
+        assert rig.scheduler.completed_count == 21
+
+    def test_oversized_call_does_not_block_function(self):
+        # A call whose memory can never fit keeps retrying while the
+        # rest of its function flows.
+        rig = Rig(n_workers=2)
+        spec = FunctionSpec(name="f", quota_minstr_per_s=1.0e9,
+                            profile=profile(cpu=10.0, exec_s=0.1))
+        rig.register(spec)
+        big = FunctionCall(spec=spec, submit_time=0.0, start_time=0.0,
+                           region_submitted="r0")
+        big.resources = (10.0, 10_000_000.0, 0.1)  # 10 TB: never fits
+        rig.dqs["r0"][0].enqueue(big)
+        small = [rig.enqueue(spec) for _ in range(30)]
+        rig.sim.run_until(120.0)
+        done = sum(1 for c in small if c.state is CallState.COMPLETED)
+        assert done == 30
+        assert big.state is not CallState.COMPLETED
+
+    def test_unplaceable_work_does_not_hoard_tokens(self):
+        # Function with a tight quota: an unplaceable oversized head
+        # must not consume the token stream needed by placeable calls.
+        rig = Rig(n_workers=1)
+        spec = FunctionSpec(name="f", quota_minstr_per_s=500.0,  # 5 RPS
+                            profile=profile(cpu=100.0, exec_s=0.05))
+        rig.register(spec, cost=100.0)
+        big = FunctionCall(spec=spec, submit_time=0.0, start_time=0.0,
+                           region_submitted="r0")
+        big.resources = (100.0, 10_000_000.0, 0.05)
+        rig.dqs["r0"][0].enqueue(big)
+        small = [rig.enqueue(spec) for _ in range(100)]
+        rig.sim.run_until(60.0)
+        done = sum(1 for c in small if c.state is CallState.COMPLETED)
+        # 5 RPS × 60 s plus burst ≈ 300+; bounded by the 100 offered.
+        assert done >= 90
+
+    def test_saturation_reaches_full_utilization(self):
+        # Overloaded homogeneous workload must pin utilization near 1.0
+        # (the pipeline regression that capped it at ~0.6).
+        rig = Rig(n_workers=2)
+        spec = FunctionSpec(name="f", quota_minstr_per_s=1.0e9,
+                            profile=profile(cpu=500.0, exec_s=0.5))
+        rig.register(spec)
+        task = rig.sim.every(1.0, lambda: [rig.enqueue(spec)
+                                           for _ in range(10)])
+        rig.sim.run_until(1800.0)
+        task.cancel()
+        util = sum(w.cpu.utilization_total(rig.sim.now)
+                   for w in rig.workers) / len(rig.workers)
+        assert util > 0.9

@@ -1,0 +1,68 @@
+"""Tests for streaming estimators (P², Welford)."""
+
+import random
+
+import pytest
+
+from repro.metrics import P2Quantile, StreamingMean
+
+
+class TestP2Quantile:
+    def test_invalid_quantile(self):
+        for q in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                P2Quantile(q)
+
+    def test_small_sample_exact(self):
+        est = P2Quantile(0.5)
+        for x in [3.0, 1.0, 2.0]:
+            est.add(x)
+        assert est.value == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).value
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_uniform_convergence(self, q):
+        rng = random.Random(1)
+        est = P2Quantile(q)
+        for _ in range(20000):
+            est.add(rng.random())
+        assert abs(est.value - q) < 0.03
+
+    def test_median_of_normal(self):
+        rng = random.Random(2)
+        est = P2Quantile(0.5)
+        for _ in range(10000):
+            est.add(rng.gauss(10.0, 3.0))
+        assert abs(est.value - 10.0) < 0.3
+
+    def test_monotone_input(self):
+        est = P2Quantile(0.5)
+        for x in range(1, 1001):
+            est.add(float(x))
+        assert abs(est.value - 500) < 50
+
+
+class TestStreamingMean:
+    def test_mean(self):
+        sm = StreamingMean()
+        for x in [1.0, 2.0, 3.0, 4.0]:
+            sm.add(x)
+        assert sm.mean == pytest.approx(2.5)
+
+    def test_variance(self):
+        sm = StreamingMean()
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            sm.add(x)
+        assert sm.variance == pytest.approx(4.571428, rel=1e-5)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            StreamingMean().mean
+
+    def test_single_sample_zero_variance(self):
+        sm = StreamingMean()
+        sm.add(5.0)
+        assert sm.variance == 0.0

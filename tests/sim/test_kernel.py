@@ -1,0 +1,186 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestClockAndScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_call_after_runs_at_right_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_call_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(3.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [3.5]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.call_after(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_after(-1.0, lambda: None)
+
+    def test_fifo_order_at_same_time(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.call_at(1.0, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == list(range(10))
+
+    def test_priority_breaks_time_ties(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, lambda: seen.append("low"), priority=5)
+        sim.call_at(1.0, lambda: seen.append("high"), priority=-5)
+        sim.run()
+        assert seen == ["high", "low"]
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.call_after(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            sim.call_after(2.0, lambda: seen.append(sim.now))
+        sim.call_after(1.0, first)
+        sim.run()
+        assert seen == [3.0]
+
+
+class TestRunUntil:
+    def test_clock_advances_to_horizon(self):
+        sim = Simulator()
+        sim.run_until(100.0)
+        assert sim.now == 100.0
+
+    def test_events_beyond_horizon_not_run(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(5.0, lambda: seen.append("early"))
+        sim.call_after(50.0, lambda: seen.append("late"))
+        sim.run_until(10.0)
+        assert seen == ["early"]
+        sim.run_until(60.0)
+        assert seen == ["early", "late"]
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_stop_aborts_run(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(1)
+            sim.stop()
+        sim.call_after(1.0, first)
+        sim.call_after(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        seen = []
+        for i in range(10):
+            sim.call_after(float(i), lambda i=i: seen.append(i))
+        sim.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now))
+        sim.run_until(35.0)
+        assert times == [0.0, 10.0, 20.0, 30.0]
+
+    def test_start_offset(self):
+        sim = Simulator()
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), start=5.0)
+        sim.run_until(30.0)
+        assert times == [5.0, 15.0, 25.0]
+
+    def test_cancel_stops_firing(self):
+        sim = Simulator()
+        times = []
+        task = sim.every(10.0, lambda: times.append(sim.now))
+        sim.run_until(25.0)
+        task.cancel()
+        sim.run_until(100.0)
+        assert times == [0.0, 10.0, 20.0]
+
+    def test_cancel_from_within_callback(self):
+        sim = Simulator()
+        task_holder = {}
+
+        def cb():
+            if sim.now >= 20.0:
+                task_holder["task"].cancel()
+        task_holder["task"] = sim.every(10.0, cb)
+        sim.run_until(100.0)
+        assert task_holder["task"].fire_count == 3  # t=0, 10, 20
+
+    def test_jitter_stays_near_interval(self):
+        sim = Simulator(seed=3)
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), jitter=1.0)
+        sim.run_until(100.0)
+        assert len(times) >= 9
+        for a, b in zip(times, times[1:]):
+            assert 8.0 <= b - a <= 12.0
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().every(0.0, lambda: None)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            out = []
+            rng = sim.rng.stream("x")
+
+            def tick():
+                out.append((sim.now, rng.random()))
+            sim.every(1.0, tick)
+            sim.run_until(20.0)
+            return out
+        assert run(42) == run(42)
+        assert run(42) != run(43)
+
+    def test_named_streams_are_independent(self):
+        sim = Simulator(seed=1)
+        a1 = [sim.rng.stream("a").random() for _ in range(5)]
+        sim2 = Simulator(seed=1)
+        # Interleave another stream: "a" should be unaffected.
+        sim2.rng.stream("b").random()
+        a2 = [sim2.rng.stream("a").random() for _ in range(5)]
+        assert a1 == a2

@@ -1,0 +1,169 @@
+"""Tests for generator processes."""
+
+import pytest
+
+from repro.sim import Process, Signal, Simulator, spawn
+
+
+class TestBasicProcesses:
+    def test_yield_delay(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            marks.append(sim.now)
+            yield 5.0
+            marks.append(sim.now)
+            yield 2.5
+            marks.append(sim.now)
+        spawn(sim, proc())
+        sim.run()
+        assert marks == [0.0, 5.0, 7.5]
+
+    def test_return_value_on_done_signal(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return "result"
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.done.fired
+        assert p.result == "result"
+
+    def test_yield_signal_receives_value(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            value = yield sim.timeout(3.0, "payload")
+            got.append((value, sim.now))
+        spawn(sim, proc())
+        sim.run()
+        assert got == [("payload", 3.0)]
+
+    def test_yield_already_fired_signal(self):
+        sim = Simulator()
+        sig = Signal()
+        sig.fire("early")
+        got = []
+
+        def proc():
+            value = yield sig
+            got.append(value)
+        spawn(sim, proc())
+        sim.run()
+        assert got == ["early"]
+
+    def test_wait_for_child_process(self):
+        sim = Simulator()
+
+        def child():
+            yield 4.0
+            return 99
+
+        def parent():
+            result = yield spawn(sim, child())
+            return result + 1
+        p = spawn(sim, parent())
+        sim.run()
+        assert p.result == 100
+        assert sim.now == 4.0
+
+    def test_zero_delay_continues_same_time(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            yield 0.0
+            marks.append(sim.now)
+        spawn(sim, proc())
+        sim.run()
+        assert marks == [0.0]
+
+
+class TestProcessErrors:
+    def test_negative_delay_raises_in_generator(self):
+        sim = Simulator()
+        caught = []
+
+        def proc():
+            try:
+                yield -1.0
+            except ValueError as e:
+                caught.append(str(e))
+        spawn(sim, proc())
+        sim.run()
+        assert caught and "negative delay" in caught[0]
+
+    def test_unsupported_effect_raises_in_generator(self):
+        sim = Simulator()
+        caught = []
+
+        def proc():
+            try:
+                yield "not-an-effect"
+            except TypeError:
+                caught.append(True)
+        spawn(sim, proc())
+        sim.run()
+        assert caught == [True]
+
+    def test_failed_signal_propagates(self):
+        sim = Simulator()
+        sig = Signal()
+        sim.call_after(2.0, lambda: sig.fail(RuntimeError("boom")))
+        caught = []
+
+        def proc():
+            try:
+                yield sig
+            except RuntimeError as e:
+                caught.append(str(e))
+        spawn(sim, proc())
+        sim.run()
+        assert caught == ["boom"]
+
+
+class TestKill:
+    def test_killed_process_stops(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            yield 1.0
+            marks.append("a")
+            yield 10.0
+            marks.append("b")
+        p = spawn(sim, proc())
+        sim.call_after(5.0, p.kill)
+        sim.run()
+        assert marks == ["a"]
+        assert not p.alive
+        assert p.done.fired
+
+    def test_kill_idempotent(self):
+        sim = Simulator()
+
+        def proc():
+            yield 10.0
+        p = spawn(sim, proc())
+        sim.call_after(1.0, p.kill)
+        sim.call_after(2.0, p.kill)
+        sim.run()
+        assert not p.alive
+
+
+class TestSignal:
+    def test_double_fire_raises(self):
+        sig = Signal()
+        sig.fire(1)
+        with pytest.raises(RuntimeError):
+            sig.fire(2)
+
+    def test_waiter_called_immediately_if_fired(self):
+        sig = Signal()
+        sig.fire("v")
+        got = []
+        sig.add_waiter(lambda s: got.append(s.value))
+        assert got == ["v"]

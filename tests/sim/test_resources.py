@@ -1,0 +1,132 @@
+"""Tests for Resource and Store primitives."""
+
+import pytest
+
+from repro.sim import Resource, Simulator, Store
+
+
+class TestResource:
+    def test_acquire_within_capacity_fires_immediately(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        sig = res.acquire(1)
+        assert sig.fired
+        assert res.in_use == 1
+
+    def test_acquire_beyond_capacity_waits(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.acquire(1)
+        waiting = res.acquire(1)
+        assert not waiting.fired
+        res.release(1)
+        assert waiting.fired
+
+    def test_fifo_wakeup_order(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.acquire(1)
+        order = []
+        for label in ("first", "second", "third"):
+            res.acquire(1).add_waiter(lambda s, l=label: order.append(l))
+        res.release(1)
+        res.release(1)
+        assert order == ["first", "second"]
+
+    def test_large_request_blocks_smaller_behind_it(self):
+        # FIFO means a big request at the head blocks later small ones
+        # (no starvation of large requests).
+        sim = Simulator()
+        res = Resource(sim, capacity=4)
+        res.acquire(3)
+        big = res.acquire(4)
+        small = res.acquire(1)
+        assert not big.fired and not small.fired
+        res.release(3)
+        assert big.fired
+        assert not small.fired
+
+    def test_try_acquire(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        assert res.try_acquire(1)
+        assert not res.try_acquire(1)
+        res.release(1)
+        assert res.try_acquire(1)
+
+    def test_over_release_raises(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        with pytest.raises(RuntimeError):
+            res.release(1)
+
+    def test_acquire_more_than_capacity_rejected(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        with pytest.raises(ValueError):
+            res.acquire(3)
+
+    def test_resize_grows_and_wakes(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.acquire(1)
+        waiting = res.acquire(1)
+        res.resize(2)
+        assert waiting.fired
+
+    def test_resize_shrink_does_not_evict(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        res.acquire(2)
+        res.resize(1)
+        assert res.in_use == 2  # existing holders keep their units
+        assert res.available == -1
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        sig = store.get()
+        assert sig.fired and sig.value == "a"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        sig = store.get()
+        assert not sig.fired
+        store.put("x")
+        assert sig.fired and sig.value == "x"
+
+    def test_fifo_item_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        for item in (1, 2, 3):
+            store.put(item)
+        assert [store.get().value for _ in range(3)] == [1, 2, 3]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        first = store.put("a")
+        second = store.put("b")
+        assert first.fired and not second.fired
+        assert store.get().value == "a"
+        assert second.fired
+        assert store.get().value == "b"
+
+    def test_try_put_and_try_get(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        assert store.try_put("a")
+        assert not store.try_put("b")
+        assert store.try_get() == "a"
+        assert store.try_get() is None
+
+    def test_peek_does_not_remove(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        assert store.peek() == "a"
+        assert len(store) == 1

@@ -1,0 +1,84 @@
+"""Tests for named RNG streams, including property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RngRegistry, RngStream
+
+
+class TestStreams:
+    def test_same_name_same_stream(self):
+        reg = RngRegistry(0)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_different_names_different_sequences(self):
+        reg = RngRegistry(0)
+        a = [reg.stream("a").random() for _ in range(10)]
+        b = [reg.stream("b").random() for _ in range(10)]
+        assert a != b
+
+    def test_same_seed_reproducible(self):
+        r1 = [RngRegistry(5).stream("x").random() for _ in range(3)]
+        r2 = [RngRegistry(5).stream("x").random() for _ in range(3)]
+        assert r1 == r2
+
+    def test_different_master_seed_differs(self):
+        r1 = RngRegistry(1).stream("x").random()
+        r2 = RngRegistry(2).stream("x").random()
+        assert r1 != r2
+
+    def test_expovariate_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            RngStream("s", 0).expovariate(0.0)
+
+    def test_poisson_zero_lambda(self):
+        assert RngStream("s", 0).poisson(0.0) == 0
+
+    def test_poisson_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RngStream("s", 0).poisson(-1.0)
+
+
+class TestPoissonStatistics:
+    @pytest.mark.parametrize("lam", [0.5, 3.0, 40.0, 800.0])
+    def test_poisson_mean_close(self, lam):
+        rng = RngStream("p", 123)
+        n = 4000
+        samples = [rng.poisson(lam) for _ in range(n)]
+        mean = sum(samples) / n
+        assert abs(mean - lam) < max(0.2, 4 * (lam / n) ** 0.5 * 3)
+
+    def test_poisson_nonnegative(self):
+        rng = RngStream("p2", 7)
+        assert all(rng.poisson(2.5) >= 0 for _ in range(1000))
+
+
+class TestPropertyBased:
+    @given(st.floats(min_value=-100, max_value=100),
+           st.floats(min_value=0.01, max_value=100))
+    @settings(max_examples=50)
+    def test_uniform_within_bounds(self, lo, width):
+        rng = RngStream("u", 1)
+        v = rng.uniform(lo, lo + width)
+        assert lo <= v <= lo + width
+
+    @given(st.integers(min_value=0, max_value=2**32),
+           st.text(min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_derived_streams_deterministic(self, seed, name):
+        a = RngRegistry(seed).stream(name).random()
+        b = RngRegistry(seed).stream(name).random()
+        assert a == b
+
+    @given(st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_choice_returns_member(self, items):
+        rng = RngStream("c", 2)
+        assert rng.choice(items) in items
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=30)
+    def test_lognormal_positive(self, sigma):
+        rng = RngStream("ln", 3)
+        assert rng.lognormal(0.0, sigma) > 0

@@ -1,0 +1,49 @@
+"""Tests for the `python -m repro` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.hours == 6.0
+        assert args.rate == 4.0
+        assert not args.no_time_shifting
+
+    def test_simulate_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "--hours", "2", "--no-time-shifting",
+             "--regions", "3"])
+        assert args.hours == 2.0
+        assert args.no_time_shifting
+        assert args.regions == 3
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_lifecycle_prints_tables(self, capsys):
+        assert main(["lifecycle"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "XFaaS" in out
+        assert "billable" in out
+
+    def test_growth_prints_factor(self, capsys):
+        assert main(["growth", "--years", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "52.0x" in out or "5" in out
+        assert "Figure 3" in out
+
+    def test_simulate_smoke(self, capsys):
+        # A tiny run: 0.5 h, low rate, 3 regions.
+        assert main(["simulate", "--hours", "0.5", "--rate", "1.5",
+                     "--regions", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "received per minute" in out
+        assert "FLEET MEAN" in out
+        assert "completed" in out

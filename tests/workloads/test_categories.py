@@ -1,0 +1,88 @@
+"""Tests for Table 1 category shares and §6 team skew."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (CALL_SHARE, COMPUTE_SHARE, FUNCTION_SHARE,
+                             TriggerType, capacity_concentration,
+                             split_functions, team_weights)
+
+
+class TestShares:
+    def test_function_shares_sum_to_one(self):
+        assert sum(FUNCTION_SHARE.values()) == pytest.approx(1.0)
+
+    def test_call_shares_match_paper(self):
+        assert CALL_SHARE[TriggerType.EVENT] == 0.85
+        assert CALL_SHARE[TriggerType.QUEUE] == 0.15
+
+    def test_compute_dominated_by_queue(self):
+        assert COMPUTE_SHARE[TriggerType.QUEUE] == 0.86
+
+
+class TestSplitFunctions:
+    def test_exact_total(self):
+        counts = split_functions(100)
+        assert counts.total == 100
+
+    def test_paper_proportions(self):
+        counts = split_functions(1000)
+        assert counts.queue == pytest.approx(890, abs=15)
+        assert counts.event == pytest.approx(80, abs=10)
+        assert counts.timer == pytest.approx(30, abs=10)
+
+    def test_minimum_population(self):
+        counts = split_functions(3)
+        assert counts.queue >= 1 and counts.event >= 1 and counts.timer >= 1
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            split_functions(2)
+
+    @given(st.integers(min_value=3, max_value=50000))
+    @settings(max_examples=50)
+    def test_total_preserved_and_positive(self, n):
+        counts = split_functions(n)
+        assert counts.total == n
+        assert counts.queue >= 1 and counts.event >= 1 and counts.timer >= 1
+
+
+class TestTeamSkew:
+    """§6: one team 10%, 0.4% of teams 50%, 2.6% of teams 90%."""
+
+    def test_anchors_at_2000_teams(self):
+        weights = team_weights(2000)
+        assert weights[0] == pytest.approx(0.10, rel=0.01)
+        assert capacity_concentration(weights, 0.5) == pytest.approx(
+            0.004, rel=0.05)
+        assert capacity_concentration(weights, 0.9) == pytest.approx(
+            0.026, rel=0.05)
+
+    def test_weights_sum_to_one(self):
+        assert sum(team_weights(500)) == pytest.approx(1.0)
+
+    def test_weights_decreasing(self):
+        weights = team_weights(300)
+        assert all(a >= b - 1e-12 for a, b in zip(weights, weights[1:]))
+
+    def test_single_team(self):
+        assert team_weights(1) == [1.0]
+
+    def test_invalid_team_count(self):
+        with pytest.raises(ValueError):
+            team_weights(0)
+
+    def test_concentration_bounds(self):
+        weights = team_weights(100)
+        with pytest.raises(ValueError):
+            capacity_concentration(weights, 0.0)
+        assert capacity_concentration(weights, 1.0) <= 1.0
+
+    @given(st.integers(min_value=2, max_value=3000))
+    @settings(max_examples=30)
+    def test_concentration_monotone(self, n):
+        weights = team_weights(n)
+        c50 = capacity_concentration(weights, 0.5)
+        c90 = capacity_concentration(weights, 0.9)
+        assert c50 <= c90 <= 1.0

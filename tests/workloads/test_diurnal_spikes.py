@@ -1,0 +1,94 @@
+"""Tests for diurnal and spike rate shapes (Figures 2 and 4)."""
+
+import pytest
+
+from repro.workloads import Burst, ConstantRate, DiurnalRate, SpikeTrain
+from repro.workloads.spikes import figure4_spike
+
+DAY = 86_400.0
+
+
+class TestDiurnalRate:
+    def test_peak_to_trough_matches_figure2(self):
+        d = DiurnalRate(base_rate=100.0, peak_to_trough=4.3)
+        values = [d.rate(t) for t in range(0, int(DAY), 30)]
+        ratio = max(values) / min(values)
+        assert ratio == pytest.approx(4.3, rel=0.05)
+
+    def test_peak_is_at_midnight(self):
+        # §2.2: the midnight peak from big-data pipelines.
+        d = DiurnalRate(base_rate=100.0)
+        midnight = d.rate(0.0)
+        afternoon = d.rate(14 * 3600.0)
+        assert midnight > afternoon
+
+    def test_mean_near_base_rate(self):
+        d = DiurnalRate(base_rate=50.0)
+        assert d.mean_rate() == pytest.approx(50.0, rel=0.25)
+
+    def test_daily_periodicity(self):
+        d = DiurnalRate(base_rate=10.0)
+        assert d.rate(1234.0) == pytest.approx(d.rate(1234.0 + DAY))
+
+    def test_day_ratio_without_spike(self):
+        d = DiurnalRate(base_rate=100.0, peak_to_trough=2.0, day_ratio=2.0)
+        values = [d.rate(t) for t in range(0, int(DAY), 60)]
+        assert max(values) / min(values) == pytest.approx(2.0, rel=0.05)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DiurnalRate(base_rate=0)
+        with pytest.raises(ValueError):
+            DiurnalRate(peak_to_trough=1.5, day_ratio=2.0)
+        with pytest.raises(ValueError):
+            DiurnalRate(day_ratio=0.5)
+
+    def test_always_positive(self):
+        d = DiurnalRate(base_rate=1.0, peak_to_trough=10.0, day_ratio=3.0)
+        assert all(d.rate(t) > 0 for t in range(0, int(DAY), 600))
+
+
+class TestConstantRate:
+    def test_flat(self):
+        c = ConstantRate(5.0)
+        assert c.rate(0) == c.rate(12345) == 5.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantRate(0.0)
+
+
+class TestSpikeTrain:
+    def test_rate_inside_and_outside_burst(self):
+        train = SpikeTrain(background_rate=1.0, bursts=(
+            Burst(start_s=100.0, duration_s=50.0, total_calls=500.0),))
+        assert train.rate(50.0) == 1.0
+        assert train.rate(125.0) == pytest.approx(11.0)
+        assert train.rate(151.0) == 1.0
+
+    def test_total_calls_window_clipping(self):
+        train = SpikeTrain(bursts=(
+            Burst(start_s=0.0, duration_s=100.0, total_calls=1000.0),))
+        assert train.total_calls(0.0, 50.0) == pytest.approx(500.0)
+
+    def test_overlapping_bursts_sum(self):
+        train = SpikeTrain(bursts=(
+            Burst(0.0, 100.0, 100.0), Burst(50.0, 100.0, 200.0)))
+        assert train.rate(75.0) == pytest.approx(3.0)
+
+    def test_figure4_shape(self):
+        # Figure 4: ~20 M calls within a 15-minute window (scaled).
+        train = figure4_spike(scale=1e-4)
+        window = train.total_calls(6 * 3600.0, 6 * 3600.0 + 900.0)
+        assert window == pytest.approx(2000.0)
+        assert train.rate(0.0) == 0.0
+
+    def test_figure4_invalid_scale(self):
+        with pytest.raises(ValueError):
+            figure4_spike(scale=0.0)
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            Burst(0.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            Burst(0.0, 10.0, -1.0)

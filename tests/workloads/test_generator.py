@@ -1,0 +1,119 @@
+"""Tests for population building and arrival generation."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.workloads import (ArrivalGenerator, ConstantRate, QuotaType,
+                             TriggerType, attach_spike, build_population,
+                             estimate_demand_minstr, figure4_spike)
+
+
+class TestBuildPopulation:
+    def test_category_mix(self):
+        pop = build_population(n_functions=100)
+        triggers = [l.spec.trigger for l in pop.loads]
+        assert triggers.count(TriggerType.QUEUE) >= 80
+        assert triggers.count(TriggerType.EVENT) >= 1
+        assert triggers.count(TriggerType.TIMER) >= 1
+
+    def test_total_rate_preserved(self):
+        pop = build_population(n_functions=60, total_rate=42.0)
+        assert pop.total_mean_rate() == pytest.approx(42.0, rel=0.02)
+
+    def test_event_functions_carry_most_calls(self):
+        # Table 1: event-triggered = 85% of invocations from 8% of
+        # functions → their per-function rates dominate.
+        pop = build_population(n_functions=100, total_rate=100.0)
+        event_rate = sum(l.mean_rate for l in pop.loads
+                         if l.spec.trigger is TriggerType.EVENT)
+        assert event_rate == pytest.approx(85.0, rel=0.02)
+
+    def test_unique_names(self):
+        pop = build_population(n_functions=80)
+        names = [l.spec.name for l in pop.loads]
+        assert len(set(names)) == len(names)
+
+    def test_opportunistic_fraction_controls(self):
+        none = build_population(n_functions=60, opportunistic_fraction=0.0)
+        assert all(l.spec.quota_type is QuotaType.RESERVED
+                   for l in none.loads)
+        lots = build_population(n_functions=60, opportunistic_fraction=1.0)
+        assert any(l.spec.quota_type is QuotaType.OPPORTUNISTIC
+                   for l in lots.loads)
+
+    def test_deterministic_given_seed(self):
+        a = build_population(n_functions=30)
+        b = build_population(n_functions=30)
+        assert [l.spec.name for l in a.loads] == [l.spec.name for l in b.loads]
+        assert [l.mean_rate for l in a.loads] == [l.mean_rate for l in b.loads]
+
+    def test_by_name_lookup(self):
+        pop = build_population(n_functions=30)
+        name = pop.loads[0].spec.name
+        assert pop.by_name(name).spec.name == name
+        with pytest.raises(KeyError):
+            pop.by_name("missing")
+
+    def test_demand_estimate_positive_and_scales(self):
+        small = estimate_demand_minstr(build_population(30, total_rate=10.0))
+        large = estimate_demand_minstr(build_population(30, total_rate=100.0))
+        assert small > 0
+        assert large == pytest.approx(small * 10, rel=0.01)
+
+
+class TestAttachSpike:
+    def test_spike_replaces_shape(self):
+        pop = build_population(n_functions=30)
+        name = pop.loads[0].spec.name
+        attach_spike(pop, name, figure4_spike(scale=1e-4))
+        load = pop.by_name(name)
+        assert load.rate(0.0) == 0.0
+        assert load.rate(6 * 3600.0 + 60.0) > 1.0
+
+
+class TestArrivalGenerator:
+    def _population_one(self, rate):
+        pop = build_population(n_functions=3, total_rate=rate)
+        for load in pop.loads:
+            load.shape = ConstantRate(1.0)
+            load.shape_mean = 1.0
+            load.future_start_fraction = 0.0
+        return pop
+
+    def test_poisson_volume(self):
+        sim = Simulator(seed=1)
+        pop = self._population_one(rate=10.0)
+        seen = []
+        gen = ArrivalGenerator(sim, pop, lambda s, d: seen.append((s, d)),
+                               tick_s=5.0, stop_at=2000.0)
+        sim.run_until(2000.0)
+        expected = pop.total_mean_rate() * 2000.0
+        assert len(seen) == pytest.approx(expected, rel=0.1)
+
+    def test_stops_at_horizon(self):
+        sim = Simulator(seed=2)
+        pop = self._population_one(rate=10.0)
+        seen = []
+        ArrivalGenerator(sim, pop, lambda s, d: seen.append(s),
+                         tick_s=5.0, stop_at=100.0)
+        sim.run_until(1000.0)
+        count_at_100 = len(seen)
+        sim.run_until(2000.0)
+        assert len(seen) == count_at_100
+
+    def test_future_start_fraction(self):
+        sim = Simulator(seed=3)
+        pop = self._population_one(rate=20.0)
+        for load in pop.loads:
+            load.future_start_fraction = 1.0
+        delays = []
+        ArrivalGenerator(sim, pop, lambda s, d: delays.append(d),
+                         tick_s=5.0, stop_at=500.0)
+        sim.run_until(500.0)
+        assert delays and all(d > 0 for d in delays)
+
+    def test_invalid_tick(self):
+        sim = Simulator()
+        pop = self._population_one(rate=1.0)
+        with pytest.raises(ValueError):
+            ArrivalGenerator(sim, pop, lambda s, d: None, tick_s=0.0)

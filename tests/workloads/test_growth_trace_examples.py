@@ -1,0 +1,112 @@
+"""Tests for the growth model (Fig 3), trace log, and §3.2 examples."""
+
+import pytest
+
+from repro.workloads import (CallTrace, GrowthModel, LaunchEvent, TraceLog,
+                             all_examples, falco, figure3_model,
+                             morphing_framework, table2_rows)
+
+
+class TestGrowthModel:
+    def test_figure3_fifty_x_in_five_years(self):
+        model = figure3_model()
+        assert model.growth_factor(5 * 365) == pytest.approx(50.0, rel=0.15)
+
+    def test_launch_inflection(self):
+        model = figure3_model()
+        # Growth rate around the stream launch (~day 1550) clearly
+        # exceeds organic growth of the months before.
+        before = model.daily_calls(1500) / model.daily_calls(1400)
+        around = model.daily_calls(1650) / model.daily_calls(1550)
+        assert around > before * 1.2
+
+    def test_series_monotone(self):
+        model = figure3_model()
+        series = model.series(days=1825, step_days=30)
+        values = [v for _, v in series]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_launch_event_validation(self):
+        with pytest.raises(ValueError):
+            LaunchEvent(day=0, volume_multiplier=0.5)
+        with pytest.raises(ValueError):
+            GrowthModel(initial_daily_calls=0)
+
+
+class TestTraceLog:
+    def _trace(self, i=1, outcome="ok"):
+        return CallTrace(
+            call_id=i, function="f", trigger="queue", criticality=1,
+            quota_type="reserved", submit_time=10.0,
+            start_time_requested=10.0, dispatch_time=12.0, finish_time=13.0,
+            region_submitted="a", region_executed="b", worker="w",
+            outcome=outcome, cpu_minstr=5.0, memory_mb=64.0, exec_time_s=1.0)
+
+    def test_derived_metrics(self):
+        t = self._trace()
+        assert t.queueing_delay == pytest.approx(2.0)
+        assert t.completion_latency == pytest.approx(3.0)
+        assert t.cross_region
+
+    def test_queueing_delay_respects_future_start(self):
+        t = CallTrace(
+            call_id=1, function="f", trigger="queue", criticality=1,
+            quota_type="reserved", submit_time=0.0,
+            start_time_requested=100.0, dispatch_time=101.0,
+            finish_time=102.0, region_submitted="a", region_executed="a",
+            worker="w", outcome="ok", cpu_minstr=1, memory_mb=1,
+            exec_time_s=1)
+        assert t.queueing_delay == pytest.approx(1.0)
+
+    def test_filters(self):
+        log = TraceLog()
+        log.add(self._trace(1, "ok"))
+        log.add(self._trace(2, "error"))
+        assert len(log.completed()) == 1
+        assert len(log.for_function("f")) == 2
+
+    def test_csv_round_trip(self, tmp_path):
+        log = TraceLog()
+        for i in range(5):
+            log.add(self._trace(i))
+        path = tmp_path / "traces.csv"
+        log.save_csv(path)
+        loaded = TraceLog.load_csv(path)
+        assert len(loaded) == 5
+        first = next(iter(loaded))
+        assert first.function == "f"
+        assert first.submit_time == 10.0
+        assert isinstance(first.call_id, int)
+
+
+class TestExamples:
+    def test_five_workloads(self):
+        examples = all_examples()
+        assert len(examples) == 5
+        names = {e.name for e in examples}
+        assert "falco" in names and "morphing-framework" in names
+
+    def test_falco_slo(self):
+        # Falco: SLO of execution within 15 s (§3.2).
+        for spec in falco().specs:
+            assert spec.deadline_s == 15.0
+
+    def test_morphing_is_ephemeral_and_cpu_heavy(self):
+        morph = morphing_framework()
+        assert all(s.ephemeral for s in morph.specs)
+        ordinary = falco().specs[0]
+        # Orders of magnitude more CPU than ordinary functions (§3.2).
+        assert morph.specs[0].profile.cpu_minstr.median > \
+            1000 * ordinary.profile.cpu_minstr.median
+
+    def test_table2_rows_structure(self):
+        rows = table2_rows(samples_per_spec=100)
+        assert len(rows) == 5
+        for name, cpu_lo, cpu_hi, mem_lo, mem_hi, exec_lo, exec_hi in rows:
+            assert cpu_lo < cpu_hi
+            assert mem_lo < mem_hi
+            assert exec_lo < exec_hi
+
+    def test_morphing_ranges_dominate_falco(self):
+        rows = {r[0]: r for r in table2_rows(samples_per_spec=150)}
+        assert rows["morphing-framework"][1] > rows["falco"][2]

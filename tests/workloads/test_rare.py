@@ -1,0 +1,42 @@
+"""Tests for the §1 rare-function population."""
+
+import pytest
+
+from repro.workloads import build_rare_population, rare_share
+
+
+class TestRarePopulation:
+    def test_eightyone_percent_rare(self):
+        pop = build_rare_population(n_functions=200)
+        assert rare_share(pop, threshold_per_min=1.0) == pytest.approx(
+            0.81, abs=0.01)
+
+    def test_rare_rates_within_band(self):
+        pop = build_rare_population(n_functions=100,
+                                    min_rate_per_min=1 / 60.0,
+                                    max_rate_per_min=1.0)
+        rare = [l for l in pop.loads if l.mean_rate * 60.0 <= 1.0]
+        assert rare
+        for load in rare:
+            assert 1 / 60.0 - 1e-9 <= load.mean_rate * 60.0 <= 1.0 + 1e-9
+
+    def test_busy_functions_present(self):
+        pop = build_rare_population(n_functions=100, rare_fraction=0.8,
+                                    busy_rate_per_min=30.0)
+        busy = [l for l in pop.loads if l.mean_rate * 60.0 > 1.0]
+        assert len(busy) == 20
+        assert all(l.mean_rate * 60.0 == pytest.approx(30.0) for l in busy)
+
+    def test_unique_names_and_flat_shape(self):
+        pop = build_rare_population(n_functions=50)
+        names = [l.spec.name for l in pop.loads]
+        assert len(set(names)) == 50
+        for load in pop.loads:
+            assert load.rate(0.0) == pytest.approx(load.rate(43_200.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_rare_population(rare_fraction=0.0)
+        with pytest.raises(ValueError):
+            build_rare_population(min_rate_per_min=2.0,
+                                  max_rate_per_min=1.0)

@@ -1,0 +1,122 @@
+"""Tests for FunctionSpec, LogNormal fitting, ResourceProfile."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import RngStream
+from repro.workloads import (Criticality, FunctionSpec, LogNormal, QuotaType,
+                             ResourceProfile, RetryPolicy, TriggerType)
+from repro.workloads.spec import DAY_S, _norm_ppf
+
+
+class TestNormPpf:
+    @pytest.mark.parametrize("p,z", [(0.5, 0.0), (0.9, 1.2816),
+                                     (0.99, 2.3263), (0.1, -1.2816)])
+    def test_known_values(self, p, z):
+        assert _norm_ppf(p) == pytest.approx(z, abs=1e-3)
+
+    def test_out_of_range(self):
+        for p in (0.0, 1.0, -1.0):
+            with pytest.raises(ValueError):
+                _norm_ppf(p)
+
+    @given(st.floats(min_value=0.001, max_value=0.999))
+    @settings(max_examples=50)
+    def test_symmetry(self, p):
+        assert _norm_ppf(p) == pytest.approx(-_norm_ppf(1 - p), abs=1e-6)
+
+
+class TestLogNormal:
+    def test_fit_through_percentiles(self):
+        ln = LogNormal.from_percentiles((10, 2.0), (90, 200.0))
+        rng = RngStream("t", 0)
+        samples = sorted(ln.sample(rng) for _ in range(40000))
+        p10 = samples[4000]
+        p90 = samples[36000]
+        assert p10 == pytest.approx(2.0, rel=0.15)
+        assert p90 == pytest.approx(200.0, rel=0.15)
+
+    def test_median(self):
+        ln = LogNormal(mu=math.log(5.0), sigma=1.0)
+        assert ln.median == pytest.approx(5.0)
+
+    def test_clamping(self):
+        ln = LogNormal(mu=0.0, sigma=3.0, lo=0.5, hi=2.0)
+        rng = RngStream("t", 1)
+        for _ in range(200):
+            assert 0.5 <= ln.sample(rng) <= 2.0
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            LogNormal.from_percentiles((90, 1.0), (10, 2.0))
+        with pytest.raises(ValueError):
+            LogNormal.from_percentiles((10, -1.0), (90, 2.0))
+        with pytest.raises(ValueError):
+            LogNormal.from_percentiles((10, 5.0), (90, 1.0))  # decreasing
+
+
+class TestResourceProfile:
+    def test_cpu_heavy_call_stretches_exec_time(self):
+        # A call with huge CPU cannot finish faster than cpu/core_mips.
+        profile = ResourceProfile(
+            cpu_minstr=LogNormal(mu=math.log(1e6), sigma=0.0),
+            memory_mb=LogNormal(mu=math.log(100), sigma=0.0),
+            exec_time_s=LogNormal(mu=math.log(0.1), sigma=0.0))
+        rng = RngStream("t", 0)
+        cpu, _, exec_s = profile.sample(rng, core_mips=1000.0)
+        assert exec_s == pytest.approx(cpu / 1000.0)
+
+    def test_io_bound_call_keeps_wall_time(self):
+        profile = ResourceProfile(
+            cpu_minstr=LogNormal(mu=math.log(1.0), sigma=0.0),
+            memory_mb=LogNormal(mu=math.log(10), sigma=0.0),
+            exec_time_s=LogNormal(mu=math.log(2.0), sigma=0.0))
+        rng = RngStream("t", 0)
+        _, _, exec_s = profile.sample(rng, core_mips=1000.0)
+        assert exec_s == pytest.approx(2.0)
+
+
+class TestFunctionSpec:
+    def test_defaults(self):
+        spec = FunctionSpec(name="f")
+        assert spec.trigger is TriggerType.QUEUE
+        assert spec.profile is not None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="")
+
+    def test_deadline_bounds(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", deadline_s=0.0)
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", deadline_s=DAY_S + 1)
+
+    def test_opportunistic_gets_24h_deadline(self):
+        # §4.6.2: opportunistic quota → 24 h execution SLO.
+        spec = FunctionSpec(name="f", quota_type=QuotaType.OPPORTUNISTIC,
+                            deadline_s=60.0)
+        assert spec.deadline_s == DAY_S
+
+    def test_delay_tolerance(self):
+        assert FunctionSpec(name="f",
+                            quota_type=QuotaType.OPPORTUNISTIC).is_delay_tolerant
+        assert FunctionSpec(name="f", deadline_s=7200.0).is_delay_tolerant
+        assert not FunctionSpec(name="f", deadline_s=30.0).is_delay_tolerant
+
+    def test_concurrency_limit_validation(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", concurrency_limit=0)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_delay_s=-1)
+
+    def test_criticality_ordering(self):
+        assert Criticality.CRITICAL > Criticality.HIGH > \
+            Criticality.NORMAL > Criticality.LOW
