@@ -53,7 +53,7 @@ def run_config(label: str, **flag_overrides):
         "received_p2t": peak_to_trough(received, trim_fraction=0.02),
         "opp_delay_median_s": _median(opp_delays),
         "cross_region_pulls": cross_pulls,
-        "distinct_p50": distinct.percentile(50) if len(distinct) else 0,
+        "distinct_p50": int(distinct.percentile(50)) if len(distinct) else 0,
         "completed": platform.completed_count(),
     }
 

@@ -62,7 +62,7 @@ def run_arm(enabled: bool):
     return {
         "mem_p50": mem.percentile(50),
         "mem_p95": mem.percentile(95),
-        "distinct_p50": distinct.percentile(50),
+        "distinct_p50": int(distinct.percentile(50)),
         "completed": platform.completed_count(),
     }
 

@@ -56,11 +56,13 @@ def quota_cpu_series(platform: XFaaS, t_start: float = 0.0,
 
 
 def distinct_functions_percentiles(platform: XFaaS,
-                                   percentiles=(50, 95)) -> List[float]:
+                                   percentiles=(50, 95)) -> List[int]:
     """Figure 9: distinct functions per worker per window percentiles."""
     dist = platform.metrics.distribution(
         "worker.distinct_functions_per_window")
-    return [dist.percentile(p) for p in percentiles]
+    # Samples are distinct-function *counts*; the storage backend keeps
+    # them as doubles, so restore their integer nature on the way out.
+    return [int(dist.percentile(p)) for p in percentiles]
 
 
 def worker_memory_series(platform: XFaaS, t_start: float, t_end: float,

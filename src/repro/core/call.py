@@ -12,6 +12,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from ..util import add_slots
 from ..workloads.spec import FunctionSpec
 
 _call_ids = itertools.count(1)
@@ -41,6 +42,7 @@ class CallOutcome(enum.Enum):
     ISOLATION_DENIED = "isolation_denied"
 
 
+@add_slots
 @dataclass
 class FunctionCall:
     """One invocation travelling through the platform."""

@@ -98,16 +98,22 @@ class CongestionController:
     # ------------------------------------------------------------------
     def can_dispatch(self, name: str, now: float) -> bool:
         """All three gates; consumes a rate token when allowed."""
-        st = self._require(name)
+        st = self._functions.get(name)
+        if st is None:
+            raise KeyError(
+                f"function {name!r} not registered with congestion controller")
         limit = st.spec.concurrency_limit
         if limit is not None and st.running >= limit:
             self.concurrency_denials += 1
             return False
-        if not self._slow_start_allows(st):
+        p = self.params
+        allowance = st.prev_window_dispatches * (1.0 + p.slow_start_growth)
+        if allowance < p.slow_start_threshold_calls:
+            allowance = p.slow_start_threshold_calls
+        if st.window_dispatches >= allowance:
             self.slow_start_denials += 1
             return False
-        st.bucket.set_rate(now, st.rps_limit)
-        if not st.bucket.try_take(now):
+        if not st.bucket.set_rate_and_take(now, st.rps_limit):
             self.rate_denials += 1
             return False
         return True

@@ -72,6 +72,9 @@ class LocalityOptimizer:
         self._rr_counter = 0
         self.reassign_count = 0
         self.worker_moves = 0
+        #: Bumped whenever any worker's locality group changes; WorkerLBs
+        #: key their group index off this instead of rehashing the pool.
+        self.group_epoch = 0
         self._tasks = []
 
     # ------------------------------------------------------------------
@@ -89,6 +92,7 @@ class LocalityOptimizer:
         self._workers.append(worker)
         # Spread workers over groups round-robin at registration.
         worker.locality_group = (len(self._workers) - 1) % self.n_groups
+        self.group_epoch += 1
 
     def group_of(self, function_name: str) -> int:
         if not self.enabled:
@@ -191,3 +195,4 @@ class LocalityOptimizer:
             mover = min(donors, key=lambda w: w.load_score())
             mover.locality_group = hottest
             self.worker_moves += 1
+            self.group_epoch += 1

@@ -164,7 +164,8 @@ class XFaaS:
             workerlb = WorkerLB(
                 sim, r, workers,
                 group_of_function=self.locality_optimizer.group_of,
-                n_groups_fn=lambda: self.locality_optimizer.n_groups)
+                n_groups_fn=lambda: self.locality_optimizer.n_groups,
+                group_epoch_fn=lambda: self.locality_optimizer.group_epoch)
             self.workerlbs[r] = workerlb
 
             scheduler = Scheduler(

@@ -70,6 +70,32 @@ class TokenBucket:
         self.rate = rate
         self.tokens = min(self.tokens, self.capacity)
 
+    def set_rate_and_take(self, now: float, rate: float) -> bool:
+        """Hot-path fusion of ``set_rate`` + ``try_take``.
+
+        Equivalent to calling them back to back but with a single refill
+        (the second refill is always a no-op at the same ``now``) and a
+        single capacity evaluation per rate value.
+        """
+        tokens = self.tokens
+        elapsed = now - self.last_refill
+        if elapsed > 0:
+            # Settle accrued tokens at the *old* rate first.
+            cap = self.capacity
+            tokens += elapsed * self.rate
+            if tokens > cap:
+                tokens = cap
+            self.last_refill = now
+        self.rate = rate
+        cap = self.capacity
+        if tokens > cap:
+            tokens = cap
+        if tokens >= 1.0:
+            self.tokens = tokens - 1.0
+            return True
+        self.tokens = tokens
+        return False
+
 
 @dataclass
 class _FunctionQuota:
@@ -80,6 +106,8 @@ class _FunctionQuota:
     observed_total: float = 0.0
     observed_count: int = 0
     bucket: TokenBucket = field(init=False)
+    #: Memoized ``base_rps``; invalidated by :meth:`record`.
+    _base_rps_cache: Optional[float] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.bucket = TokenBucket(rate=self.base_rps)
@@ -102,11 +130,16 @@ class _FunctionQuota:
     def record(self, cpu_minstr: float) -> None:
         self.observed_total += max(cpu_minstr, 0.0)
         self.observed_count += 1
+        self._base_rps_cache = None
 
     @property
     def base_rps(self) -> float:
         """RPS limit from quota ÷ average per-call cost (§4.6.1)."""
-        return self.spec.quota_minstr_per_s / self.avg_cost_minstr
+        cached = self._base_rps_cache
+        if cached is None:
+            cached = self.spec.quota_minstr_per_s / self.avg_cost_minstr
+            self._base_rps_cache = cached
+        return cached
 
 
 class CentralRateLimiter:
@@ -152,14 +185,17 @@ class CentralRateLimiter:
     def try_acquire(self, name: str, now: float,
                     s_multiplier: float = 1.0) -> bool:
         """Take one invocation token; False means throttle/defer."""
-        fq = self._require(name)
-        limit = self.rps_limit(name, s_multiplier)
+        fq = self._functions.get(name)
+        if fq is None:
+            raise KeyError(f"function {name!r} not registered with rate limiter")
+        limit = fq.base_rps
+        if fq.spec.quota_type is QuotaType.OPPORTUNISTIC:
+            limit *= s_multiplier if s_multiplier > 0.0 else 0.0
         if limit <= 0:
             # S = 0: opportunistic scheduling is fully stopped (§4.6.2).
             self.throttle_count += 1
             return False
-        fq.bucket.set_rate(now, limit)
-        if fq.bucket.try_take(now):
+        if fq.bucket.set_rate_and_take(now, limit):
             self.allow_count += 1
             return True
         self.throttle_count += 1

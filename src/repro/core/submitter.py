@@ -87,6 +87,7 @@ class Submitter:
         self.kvstore = kvstore
         self._batch: List[FunctionCall] = []
         self._flush_scheduled = False
+        self._flush_handle = None
         self._clients: Dict[str, _ClientStats] = {}
         self.accepted_count = 0
         self.throttled_count = 0
@@ -126,8 +127,8 @@ class Submitter:
         elif not self._flush_scheduled:
             # Event-driven flush: armed only while a batch is pending.
             self._flush_scheduled = True
-            self.sim.call_after(self.params.batch_flush_interval_s,
-                                self._flush)
+            self._flush_handle = self.sim.call_after(
+                self.params.batch_flush_interval_s, self._flush)
         return True
 
     def _throttle(self, call: FunctionCall) -> bool:
@@ -139,6 +140,11 @@ class Submitter:
 
     # ------------------------------------------------------------------
     def _flush(self) -> None:
+        # A full-batch flush disarms a pending timer instead of letting
+        # it fire into the next batch early (and waste a queue event).
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
         self._flush_scheduled = False
         if not self._batch:
             return

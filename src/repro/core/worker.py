@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..cluster.machine import CpuAccount, MachineSpec
 from ..sim.kernel import Simulator
+from ..workloads.spec import Criticality, QuotaType
 from .call import CallOutcome, FunctionCall
 from .codedeploy import CodeVersion
 from .isolation import flow_allowed
@@ -78,6 +79,8 @@ class WorkerParams:
 
 @dataclass
 class _RunningCall:
+    __slots__ = ("call", "cpu_load", "memory_mb", "finish_handle")
+
     call: FunctionCall
     cpu_load: float
     memory_mb: float
@@ -107,6 +110,14 @@ class Worker:
         self.code_version = CodeVersion(version=1, released_at=0.0)
 
         self.cpu = CpuAccount(cores=machine.cores)
+        #: Admission scratch: (call_id, cpu_minstr, mem_mb, duration,
+        #: cpu_load) computed by the last ``can_admit`` so ``execute``
+        #: does not recompute it on the accept path.
+        self._admit_cache: Optional[Tuple[int, float, float, float, float]] = None
+        #: JIT speed memo for the current timestamp (admission probes a
+        #: worker many times within one scheduling sweep).
+        self._jit_speed_at = -1.0
+        self._jit_speed = 1.0
         self._running: Dict[int, _RunningCall] = {}
         self._live_memory_mb = 0.0
         #: LRU of resident functions: name → resident MB.
@@ -141,9 +152,14 @@ class Worker:
 
     def load_score(self) -> float:
         """Scalar load for load balancing: max of thread/CPU/memory use."""
-        return max(self.running_count / self.machine.threads,
-                   self.cpu.load / self.machine.cores,
-                   self.memory_in_use_mb / self.machine.memory_mb)
+        machine = self.machine
+        a = len(self._running) / machine.threads
+        b = self.cpu.load / machine.cores
+        c = ((self.params.runtime_baseline_mb + self._resident_mb +
+              self._live_memory_mb) / machine.memory_mb)
+        if b > a:
+            a = b
+        return c if c > a else a
 
     # ------------------------------------------------------------------
     # Admission and execution
@@ -151,30 +167,41 @@ class Worker:
     def can_admit(self, call: FunctionCall) -> bool:
         if not self.online:
             return False
-        cpu_minstr, mem_mb, _ = self._resources(call)
-        if self.running_count >= self.machine.threads:
+        cpu_minstr, mem_mb, exec_s = self._resources(call)
+        machine = self.machine
+        params = self.params
+        if len(self._running) >= machine.threads:
             return False
+        spec = call.spec
         resident_cost = 0.0
-        if call.function_name not in self._resident:
-            resident_cost = (call.spec.code_size_mb *
-                             self.params.resident_multiplier)
-        projected_mem = self.memory_in_use_mb + mem_mb + resident_cost
-        if projected_mem > self.machine.memory_mb * self.params.memory_headroom:
+        if spec.name not in self._resident:
+            resident_cost = spec.code_size_mb * params.resident_multiplier
+        projected_mem = (params.runtime_baseline_mb + self._resident_mb +
+                         self._live_memory_mb) + mem_mb + resident_cost
+        if projected_mem > machine.memory_mb * params.memory_headroom:
             return False
         # CPU admission: keep projected steady load within the core budget.
-        speed = self.jit.speed(self.sim.now)
-        duration = self._duration(call, speed)
-        cpu_load = self._cpu_seconds(cpu_minstr, speed) / duration
-        budget = self.machine.cores * self.params.cpu_admission_factor
-        if self._is_background(call):
-            budget *= self.params.background_admission_fraction
+        now = self.sim._now
+        if now != self._jit_speed_at:
+            self._jit_speed_at = now
+            self._jit_speed = self.jit.speed(now)
+        speed = self._jit_speed
+        cpu_s = cpu_minstr / (machine.core_mips * (speed if speed > 1e-6
+                                                   else 1e-6))
+        duration = exec_s if exec_s > cpu_s else cpu_s
+        cpu_load = cpu_s / duration
+        budget = machine.cores * params.cpu_admission_factor
+        if (spec.quota_type is QuotaType.OPPORTUNISTIC
+                or spec.criticality <= Criticality.LOW):
+            budget *= params.background_admission_fraction
         if self.cpu.load + cpu_load > budget:
             return False
+        self._admit_cache = (call.call_id, cpu_minstr, mem_mb, duration,
+                             cpu_load)
         return True
 
     @staticmethod
     def _is_background(call: FunctionCall) -> bool:
-        from ..workloads.spec import Criticality, QuotaType
         return (call.spec.quota_type is QuotaType.OPPORTUNISTIC
                 or call.spec.criticality <= Criticality.LOW)
 
@@ -189,15 +216,21 @@ class Worker:
             self.isolation_rejections += 1
             self._finish_now(call, CallOutcome.ISOLATION_DENIED)
             return True  # terminal: do not retry elsewhere
+        self._admit_cache = None
         if not self.can_admit(call):
             self.admission_rejections += 1
             return False
 
         now = self.sim.now
-        cpu_minstr, mem_mb, _ = self._resources(call)
-        speed = self.jit.speed(now)
-        duration = self._duration(call, speed)
-        cpu_load = self._cpu_seconds(cpu_minstr, speed) / duration
+        cache = self._admit_cache
+        if cache is not None and cache[0] == call.call_id:
+            _, cpu_minstr, mem_mb, duration, cpu_load = cache
+        else:
+            # A can_admit override skipped the base computation.
+            cpu_minstr, mem_mb, _ = self._resources(call)
+            speed = self.jit.speed(now)
+            duration = self._duration(call, speed)
+            cpu_load = self._cpu_seconds(cpu_minstr, speed) / duration
         # Residual universal-worker cost: first call of a function loads
         # its (pre-pushed) code from local SSD.
         if call.function_name not in self._resident:
@@ -289,6 +322,7 @@ class Worker:
         if self.online:
             return
         self.online = True
+        self._jit_speed_at = -1.0
         self.jit.restart(self.sim.now, with_profile_data=False)
         self._resident.clear()
         self._resident_mb = 0.0
@@ -313,9 +347,11 @@ class Worker:
         if version.version <= self.code_version.version:
             return
         self.code_version = version
+        self._jit_speed_at = -1.0
         self.jit.restart(self.sim.now, with_profile_data=seeded)
 
     def receive_profile_data(self) -> None:
+        self._jit_speed_at = -1.0
         self.jit.receive_profile_data(self.sim.now)
 
     # ------------------------------------------------------------------

@@ -25,7 +25,8 @@ class WorkerLB:
                  group_of_function: GroupLookup,
                  n_groups_fn: Callable[[], int],
                  extra_probes: int = 2,
-                 rng_name: Optional[str] = None) -> None:
+                 rng_name: Optional[str] = None,
+                 group_epoch_fn: Optional[Callable[[], int]] = None) -> None:
         if not workers:
             raise ValueError(f"WorkerLB in {region!r} needs workers")
         self.sim = sim
@@ -35,10 +36,17 @@ class WorkerLB:
         self.n_groups_fn = n_groups_fn
         self.extra_probes = extra_probes
         self.rng = sim.rng.stream(rng_name or f"workerlb/{region}")
+        # Draws go straight through random.Random; the stream wrapper adds
+        # a call frame per probe on the hottest dispatch path.
+        self._choice = self.rng._rng.choice
         self.dispatch_count = 0
         self.reject_count = 0
         self.out_of_group_dispatches = 0
-        self._groups_cache_key: Optional[int] = None
+        #: Cheap invalidation: when the Locality Optimizer exposes a group
+        #: epoch, the cache key is (n_groups, epoch) instead of a hash
+        #: over every worker's group id per dispatch.
+        self.group_epoch_fn = group_epoch_fn
+        self._groups_cache_key: Optional[object] = None
         self._groups: Dict[int, List[Worker]] = {}
 
     # ------------------------------------------------------------------
@@ -51,7 +59,11 @@ class WorkerLB:
         n_groups = max(1, self.n_groups_fn())
         # Workers carry their group id (set by the Locality Optimizer);
         # rebuild the index when assignments change.
-        key = hash((n_groups,) + tuple(w.locality_group for w in self.workers))
+        if self.group_epoch_fn is not None:
+            key = (n_groups, self.group_epoch_fn())
+        else:
+            key = hash(
+                (n_groups,) + tuple(w.locality_group for w in self.workers))
         if key == self._groups_cache_key:
             return
         groups: Dict[int, List[Worker]] = {}
@@ -93,14 +105,15 @@ class WorkerLB:
         """Power-of-two choice, then a few extra probes as fallback."""
         if len(candidates) == 1:
             return list(candidates)
-        a = self.rng.choice(candidates)
-        b = self.rng.choice(candidates)
-        while b is a and len(candidates) > 1:
-            b = self.rng.choice(candidates)
+        choice = self._choice
+        a = choice(candidates)
+        b = choice(candidates)
+        while b is a:
+            b = choice(candidates)
         first, second = (a, b) if a.load_score() <= b.load_score() else (b, a)
         order = [first, second]
         for _ in range(self.extra_probes):
-            extra = self.rng.choice(candidates)
+            extra = choice(candidates)
             if extra not in order:
                 order.append(extra)
         return order

@@ -1,6 +1,6 @@
 """Metrics: time series, streaming percentiles, registry, reporting."""
 
-from .percentile import P2Quantile, StreamingMean
+from .percentile import P2Quantile, P2Sketch, StreamingMean
 from .recorder import MetricsRegistry
 from .report import format_table, series_block, sparkline
 from .timeseries import Counter, Distribution, Gauge
@@ -11,6 +11,7 @@ __all__ = [
     "Gauge",
     "MetricsRegistry",
     "P2Quantile",
+    "P2Sketch",
     "StreamingMean",
     "format_table",
     "series_block",

@@ -8,7 +8,7 @@ approximation of a single quantile in O(1) memory.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 
 class P2Quantile:
@@ -22,6 +22,9 @@ class P2Quantile:
         self._n: List[int] = []       # marker positions
         self._np: List[float] = []    # desired positions
         self._heights: List[float] = []
+        #: Desired-position increments; constant per quantile, so built
+        #: once instead of on every add().
+        self._dn = (0.0, q / 2, q, (1 + q) / 2, 1.0)
         self.count = 0
 
     def add(self, x: float) -> None:
@@ -50,7 +53,7 @@ class P2Quantile:
                 k += 1
         for i in range(k + 1, 5):
             self._n[i] += 1
-        dn = [0.0, self.q / 2, self.q, (1 + self.q) / 2, 1.0]
+        dn = self._dn
         for i in range(5):
             self._np[i] += dn[i]
 
@@ -87,6 +90,62 @@ class P2Quantile:
             idx = min(len(s) - 1, int(self.q * len(s)))
             return s[idx]
         return self._heights[2]
+
+
+class P2Sketch:
+    """Multi-quantile streaming sketch: one P² marker set per quantile.
+
+    Tracks several quantiles plus min/max/mean of the same stream with a
+    single :meth:`add` call.  Memory is O(#quantiles) and each update is
+    O(#quantiles) marker adjustments — constant, independent of the
+    number of samples — unlike :class:`~repro.metrics.Distribution`,
+    which stores every sample for exact answers.  Use this where the
+    sample volume is unbounded (long-horizon runs) and estimates are
+    acceptable; use ``Distribution`` where figures need exact Pxx.
+    """
+
+    def __init__(self, quantiles: Sequence[float] = (0.5, 0.95, 0.99)) -> None:
+        if not quantiles:
+            raise ValueError("need at least one quantile")
+        self.quantiles = tuple(quantiles)
+        self._estimators = tuple(P2Quantile(q) for q in self.quantiles)
+        self._mean = StreamingMean()
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    @property
+    def count(self) -> int:
+        return self._mean.count
+
+    def add(self, x: float) -> None:
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        self._mean.add(x)
+        for est in self._estimators:
+            est.add(x)
+
+    def quantile(self, q: float) -> float:
+        """Estimate for one of the tracked quantiles."""
+        for want, est in zip(self.quantiles, self._estimators):
+            if want == q:
+                return est.value
+        raise KeyError(f"quantile {q} not tracked (have {self.quantiles})")
+
+    @property
+    def mean(self) -> float:
+        return self._mean.mean
+
+    def summary(self) -> dict:
+        """All tracked statistics, e.g. for benchmark JSON output."""
+        if self.count == 0:
+            raise ValueError("no samples")
+        out = {"count": self.count, "mean": self.mean,
+               "min": self.min, "max": self.max}
+        for q, est in zip(self.quantiles, self._estimators):
+            out[f"p{q * 100:g}"] = est.value
+        return out
 
 
 class StreamingMean:

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Sequence
 
+from .percentile import P2Sketch
 from .timeseries import Counter, Distribution, Gauge
 
 
@@ -19,6 +20,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._distributions: Dict[str, Distribution] = {}
+        self._sketches: Dict[str, P2Sketch] = {}
 
     # ------------------------------------------------------------------
     def counter(self, name: str, window: float = None) -> Counter:
@@ -37,6 +39,18 @@ class MetricsRegistry:
             self._distributions[name] = Distribution(name)
         return self._distributions[name]
 
+    def sketch(self, name: str,
+               quantiles: Sequence[float] = (0.5, 0.95, 0.99)) -> P2Sketch:
+        """O(1)-memory percentile sketch for unbounded-volume streams.
+
+        Unlike :meth:`distribution`, samples are folded into fixed-size
+        P² marker state instead of being stored, so a sketch never grows
+        with the run horizon.  The quantile set is fixed at creation.
+        """
+        if name not in self._sketches:
+            self._sketches[name] = P2Sketch(quantiles)
+        return self._sketches[name]
+
     # ------------------------------------------------------------------
     def has_counter(self, name: str) -> bool:
         return name in self._counters
@@ -46,6 +60,9 @@ class MetricsRegistry:
 
     def has_distribution(self, name: str) -> bool:
         return name in self._distributions
+
+    def has_sketch(self, name: str) -> bool:
+        return name in self._sketches
 
     def counters_matching(self, prefix: str) -> Iterable[Counter]:
         return (c for n, c in sorted(self._counters.items())

@@ -14,11 +14,21 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from array import array
+from typing import List, Optional, Sequence, Tuple
 
 
 class Counter:
-    """Event counter bucketed into fixed-size time windows."""
+    """Event counter bucketed into fixed-size time windows.
+
+    Buckets live in a dense ``array('d')`` (C doubles, no per-bucket
+    boxing) anchored at ``_base`` — the bucket index of ``_counts[0]``.
+    The hot :meth:`add` path is one index computation and one in-place
+    float add; the array only grows when time crosses into a bucket
+    beyond either end.
+    """
+
+    __slots__ = ("name", "window", "total", "_counts", "_base")
 
     def __init__(self, name: str, window: float = 60.0) -> None:
         if window <= 0:
@@ -26,22 +36,43 @@ class Counter:
         self.name = name
         self.window = window
         self.total = 0.0
-        self._buckets: Dict[int, float] = {}
+        self._counts: array = array("d")
+        self._base = 0
 
     def add(self, time: float, amount: float = 1.0) -> None:
         self.total += amount
         idx = int(time // self.window)
-        self._buckets[idx] = self._buckets.get(idx, 0.0) + amount
+        counts = self._counts
+        n = len(counts)
+        if n == 0:
+            self._base = idx
+            counts.append(amount)
+            return
+        off = idx - self._base
+        if 0 <= off < n:
+            counts[off] += amount
+        elif off >= n:
+            counts.frombytes(bytes(8 * (off - n)))  # zero-filled doubles
+            counts.append(amount)
+        else:
+            grown = array("d", bytes(8 * -off))
+            grown[0] = amount
+            grown.extend(counts)
+            self._counts = grown
+            self._base = idx
 
     def series(self, t_start: float = 0.0,
                t_end: Optional[float] = None) -> List[Tuple[float, float]]:
         """Dense per-window series of (window start time, count)."""
-        if not self._buckets:
+        counts = self._counts
+        if not counts:
             return []
+        base = self._base
         lo = int(t_start // self.window)
-        hi = max(self._buckets) if t_end is None else int(
+        hi = base + len(counts) - 1 if t_end is None else int(
             math.ceil(t_end / self.window)) - 1
-        return [(i * self.window, self._buckets.get(i, 0.0))
+        return [(i * self.window,
+                 counts[i - base] if 0 <= i - base < len(counts) else 0.0)
                 for i in range(lo, hi + 1)]
 
     def values(self, t_start: float = 0.0,
@@ -56,6 +87,8 @@ class Counter:
 
 class Gauge:
     """A piecewise-constant level supporting time-weighted statistics."""
+
+    __slots__ = ("name", "_points")
 
     def __init__(self, name: str, initial: float = 0.0, t0: float = 0.0) -> None:
         self.name = name
@@ -124,23 +157,30 @@ class Gauge:
 class Distribution:
     """Collected samples with exact percentile queries.
 
-    Stores all samples (experiments here are ≤ a few million samples);
-    percentiles use the nearest-rank method the paper's Pxx notation
-    implies.
+    Stores all samples in an ``array('d')`` — C doubles are lossless for
+    Python floats, take 8 bytes instead of a 28-byte boxed float plus an
+    8-byte list slot, and append faster on million-sample runs.
+    Percentiles use the nearest-rank method the paper's Pxx notation
+    implies; sorting happens lazily at query time, at most once per
+    batch of appends.  For O(1)-memory streaming estimates use
+    :class:`repro.metrics.P2Sketch` instead.
     """
+
+    __slots__ = ("name", "_samples", "_sorted")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self._samples: List[float] = []
+        self._samples: array = array("d")
         self._sorted = True
 
     def __len__(self) -> int:
         return len(self._samples)
 
     def add(self, value: float) -> None:
-        if self._samples and value < self._samples[-1]:
+        samples = self._samples
+        if samples and value < samples[-1]:
             self._sorted = False
-        self._samples.append(value)
+        samples.append(value)
 
     def extend(self, values: Sequence[float]) -> None:
         for v in values:
@@ -148,7 +188,7 @@ class Distribution:
 
     def _ensure_sorted(self) -> None:
         if not self._sorted:
-            self._samples.sort()
+            self._samples = array("d", sorted(self._samples))
             self._sorted = True
 
     def percentile(self, p: float) -> float:

@@ -1,75 +1,190 @@
 """Event primitives for the discrete-event simulation kernel.
 
 The kernel is a classic event-scheduling simulator: a single priority
-queue of :class:`ScheduledEvent` entries ordered by ``(time, priority,
-seq)``.  The ``seq`` tiebreaker makes execution order fully
-deterministic, which the whole reproduction relies on: two runs with the
-same seed produce identical traces.
+queue of scheduled callbacks ordered by ``(time, priority, seq)``.  The
+``seq`` tiebreaker makes execution order fully deterministic, which the
+whole reproduction relies on: two runs with the same seed produce
+identical traces.
+
+Hot-path layout
+---------------
+Heap entries are plain 4-tuples ``(time, priority, seq, handle)`` so the
+C implementations of ``heapq`` compare native tuples instead of calling
+a Python-level ``__lt__``; ``seq`` is unique, so the handle in slot 3 is
+never compared.  The :class:`ScheduledEvent` handle is a ``__slots__``
+object carrying only what outlives the push: the callback, the cancelled
+flag, and a queue backref for cancellation accounting.
+
+Two further fast paths:
+
+* **Zero-delay FIFO** — ``call_after(0, ...)`` events (process wake-ups,
+  completion continuations) are appended to a plain deque instead of
+  sifting through the heap.  Because the clock never moves backwards and
+  ``seq`` is globally increasing, the deque is sorted by construction;
+  the pop path merges it with the heap head by tuple comparison, so the
+  execution order is bit-identical to pushing through the heap.
+* **Lazy deletion with purge** — cancellation only flags the handle.
+  Cancelled entries are skipped when they surface at the head
+  (:meth:`EventQueue._purge_head`), and when they exceed half the queue
+  the whole structure is compacted in one pass, bounding memory under
+  cancellation-heavy workloads (e.g. worker failure injection).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from collections import deque
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Never compact below this many cancelled entries (compaction is O(n);
+#: tiny queues are cheaper to purge lazily at the head).
+_PURGE_MIN_CANCELLED = 64
 
 
 class EventCancelled(Exception):
     """Raised when waiting on an event that gets cancelled."""
 
 
-@dataclass(order=True)
 class ScheduledEvent:
-    """A callback scheduled at a simulation time.
+    """Cancellable handle for a callback scheduled at a simulation time.
 
-    Ordering is ``(time, priority, seq)``; lower values run first.
-    ``cancelled`` entries stay in the heap but are skipped when popped
-    (lazy deletion), which keeps cancellation O(1).
+    Ordering of the underlying queue is ``(time, priority, seq)``; lower
+    values run first.  Cancelled entries stay queued but are skipped
+    when popped (lazy deletion), which keeps cancellation O(1).
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "callback", "cancelled", "_queue")
+
+    def __init__(self, time: float, callback: Callable[[], None],
+                 queue: Optional["EventQueue"]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self._queue = queue
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._on_cancel()
+
+
+#: A queue entry: ``(time, priority, seq, handle)``.
+Entry = Tuple[float, int, int, ScheduledEvent]
 
 
 class EventQueue:
-    """Deterministic priority queue of :class:`ScheduledEvent`."""
+    """Deterministic priority queue of scheduled callbacks."""
 
     def __init__(self) -> None:
-        self._heap: List[ScheduledEvent] = []
-        self._seq = itertools.count()
+        self._heap: List[Entry] = []
+        #: Zero-delay fast path: entries appended here are already in
+        #: key order (time non-decreasing, seq increasing, priority 0).
+        self._zero: "deque[Entry]" = deque()
+        self._seq = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Total queued entries, including cancelled ones."""
+        return len(self._heap) + len(self._zero)
 
+    def live_count(self) -> int:
+        """Queued entries that are not cancelled."""
+        return len(self._heap) + len(self._zero) - self._cancelled
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
     def push(self, time: float, callback: Callable[[], None],
              priority: int = 0) -> ScheduledEvent:
         """Schedule ``callback`` at ``time`` and return a cancellable handle."""
-        ev = ScheduledEvent(time=time, priority=priority,
-                            seq=next(self._seq), callback=callback)
-        heapq.heappush(self._heap, ev)
+        ev = ScheduledEvent(time, callback, self)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, ev))
         return ev
 
+    def push_zero(self, now: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Fast path for ``call_after(0, ...)`` at default priority.
+
+        Appends to the FIFO instead of the heap.  Correct because the
+        new key ``(now, 0, seq)`` is strictly greater than every key
+        already in the FIFO: the clock is monotone and ``seq`` is fresh.
+        """
+        ev = ScheduledEvent(now, callback, self)
+        seq = self._seq
+        self._seq = seq + 1
+        self._zero.append((now, 0, seq, ev))
+        return ev
+
+    # ------------------------------------------------------------------
+    # Lazy deletion
+    # ------------------------------------------------------------------
+    def _on_cancel(self) -> None:
+        self._cancelled += 1
+        if (self._cancelled > _PURGE_MIN_CANCELLED
+                and self._cancelled * 2 > len(self._heap) + len(self._zero)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry in one pass and re-heapify."""
+        self._heap = [e for e in self._heap if not e[3].cancelled]
+        heapq.heapify(self._heap)
+        if self._zero:
+            self._zero = deque(e for e in self._zero if not e[3].cancelled)
+        self._cancelled = 0
+
+    def _purge_head(self) -> Optional[Entry]:
+        """Drop cancelled heads; return the next live entry *unpopped*.
+
+        The single home of the lazy-deletion skip logic — ``pop``,
+        ``peek_time``, and the kernel's inlined run loops all route
+        through it.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            entry = heapq.heappop(heap)
+            entry[3]._queue = None
+            self._cancelled -= 1
+        zero = self._zero
+        while zero and zero[0][3].cancelled:
+            entry = zero.popleft()
+            entry[3]._queue = None
+            self._cancelled -= 1
+        if heap:
+            if zero and zero[0] < heap[0]:
+                return zero[0]
+            return heap[0]
+        if zero:
+            return zero[0]
+        return None
+
+    def _pop_head(self) -> Entry:
+        """Pop the entry ``_purge_head`` just returned (head is live)."""
+        heap = self._heap
+        zero = self._zero
+        if heap and (not zero or heap[0] < zero[0]):
+            entry = heapq.heappop(heap)
+        else:
+            entry = zero.popleft()
+        entry[3]._queue = None
+        return entry
+
+    # ------------------------------------------------------------------
+    # Public pop/peek API
+    # ------------------------------------------------------------------
     def pop(self) -> Optional[ScheduledEvent]:
         """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if not ev.cancelled:
-                return ev
-        return None
+        if self._purge_head() is None:
+            return None
+        return self._pop_head()[3]
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        head = self._purge_head()
+        return head[0] if head is not None else None
 
 
 class Signal:

@@ -61,6 +61,11 @@ class Simulator:
     def call_after(self, delay: float, callback: Callable[[], None],
                    priority: int = 0) -> ScheduledEvent:
         """Run ``callback`` after ``delay`` seconds."""
+        if delay == 0.0 and priority == 0:
+            # Fast path: zero-delay continuations (process wake-ups,
+            # completion chains) go to the queue's FIFO lane instead of
+            # sifting through the heap; execution order is identical.
+            return self._queue.push_zero(self._now, callback)
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self._queue.push(self._now + delay, callback, priority)
@@ -92,42 +97,56 @@ class Simulator:
     # Running
     # ------------------------------------------------------------------
     def run_until(self, time: float) -> None:
-        """Execute events up to and including ``time``; clock ends at ``time``."""
+        """Execute events up to and including ``time``; clock ends at ``time``.
+
+        The pop loop is inlined over the queue internals: one
+        ``_purge_head`` (head peek) and one ``_pop_head`` per event,
+        with the hot attributes bound to locals outside the loop.
+        """
         if time < self._now:
             raise SimulationError(f"run_until({time}) is in the past")
         self._stopped = False
         self._running = True
+        queue = self._queue
+        purge_head = queue._purge_head
+        pop_head = queue._pop_head
+        executed = 0
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > time:
+                head = purge_head()
+                if head is None or head[0] > time:
                     break
-                ev = self._queue.pop()
-                assert ev is not None
-                self._now = ev.time
-                self.events_executed += 1
-                ev.callback()
-            self._now = max(self._now, time)
+                entry = pop_head()
+                self._now = entry[0]
+                executed += 1
+                entry[3].callback()
+            if self._now < time:
+                self._now = time
         finally:
+            self.events_executed += executed
             self._running = False
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the event queue drains (or ``max_events`` executed)."""
         self._stopped = False
         self._running = True
+        queue = self._queue
+        purge_head = queue._purge_head
+        pop_head = queue._pop_head
+        limit = max_events if max_events is not None else -1
         executed = 0
         try:
             while not self._stopped:
-                if max_events is not None and executed >= max_events:
+                if executed == limit:
                     break
-                ev = self._queue.pop()
-                if ev is None:
+                if purge_head() is None:
                     break
-                self._now = ev.time
-                self.events_executed += 1
+                entry = pop_head()
+                self._now = entry[0]
                 executed += 1
-                ev.callback()
+                entry[3].callback()
         finally:
+            self.events_executed += executed
             self._running = False
 
     def stop(self) -> None:
@@ -135,7 +154,8 @@ class Simulator:
         self._stopped = True
 
     def pending_events(self) -> int:
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return self._queue.live_count()
 
 
 class PeriodicTask:

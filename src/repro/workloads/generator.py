@@ -235,10 +235,20 @@ class ArrivalGenerator:
     """Tick-driven non-homogeneous Poisson submissions for a population.
 
     Every ``tick_s`` the generator draws Poisson(rate·tick) arrivals per
-    function and schedules each at a uniform offset inside the tick.
+    function at a uniform offset inside the tick.
     ``submit_fn(spec, start_delay_s)`` is called at each arrival time;
     ``start_delay_s > 0`` means the caller requested a future execution
     start time (§4.6).
+
+    **Lazy arrival streaming**: the tick's arrivals are *not*
+    pre-materialized as one scheduled event each.  They are sorted into
+    a pending list and streamed — only the *next* arrival lives in the
+    kernel's event queue; its callback submits, then arms the one after
+    it.  Peak queue size drops from O(arrivals per tick) to O(1) per
+    generator while the RNG draw order, the arrival timestamps, and the
+    submission order stay bit-identical to the eager version (the sort
+    key ``(time, draw index)`` reproduces the heap's ``(time, seq)``
+    tiebreak exactly).
     """
 
     def __init__(self, sim: Simulator, population: Population,
@@ -253,6 +263,9 @@ class ArrivalGenerator:
         self.stop_at = stop_at
         self.rng = sim.rng.stream(rng_name)
         self.submitted = 0
+        #: Current tick's remaining arrivals: (abs time, draw idx, load).
+        self._pending: List[Tuple[float, int, FunctionLoad]] = []
+        self._next_idx = 0
         self._task = sim.every(tick_s, self._tick)
 
     def _tick(self) -> None:
@@ -260,25 +273,41 @@ class ArrivalGenerator:
         if now >= self.stop_at:
             self._task.cancel()
             return
+        pending: List[Tuple[float, int, FunctionLoad]] = []
+        uniform = self.rng.uniform
+        tick_s = self.tick_s
+        midpoint = now + tick_s / 2.0
         for load in self.population.loads:
             # Rate at the tick midpoint approximates the integral.
-            rate = load.rate(now + self.tick_s / 2.0)
+            rate = load.rate(midpoint)
             if rate <= 0:
                 continue
-            n = self.rng.poisson(rate * self.tick_s)
+            n = self.rng.poisson(rate * tick_s)
             for _ in range(n):
-                offset = self.rng.uniform(0.0, self.tick_s)
-                self._schedule_arrival(load, offset)
+                pending.append((now + uniform(0.0, tick_s), len(pending), load))
+        pending.sort()
+        self._pending = pending
+        self._next_idx = 0
+        self._arm_next()
 
-    def _schedule_arrival(self, load: FunctionLoad, offset: float) -> None:
-        def fire() -> None:
-            delay = 0.0
-            if load.future_start_fraction > 0 and \
-                    self.rng.random() < load.future_start_fraction:
-                delay = self.rng.uniform(0.0, load.future_start_horizon_s)
-            self.submitted += 1
-            self.submit_fn(load.spec, delay)
-        self.sim.call_after(offset, fire)
+    def _arm_next(self) -> None:
+        i = self._next_idx
+        pending = self._pending
+        if i >= len(pending):
+            self._pending = []
+            return
+        self._next_idx = i + 1
+        time, _, load = pending[i]
+        self.sim.call_at(time, lambda: self._fire(load))
+
+    def _fire(self, load: FunctionLoad) -> None:
+        delay = 0.0
+        if load.future_start_fraction > 0 and \
+                self.rng.random() < load.future_start_fraction:
+            delay = self.rng.uniform(0.0, load.future_start_horizon_s)
+        self.submitted += 1
+        self.submit_fn(load.spec, delay)
+        self._arm_next()
 
     def cancel(self) -> None:
         self._task.cancel()

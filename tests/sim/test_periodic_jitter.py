@@ -1,0 +1,127 @@
+"""PeriodicTask jitter: fire counts, mid-flight cancellation, RNG stream.
+
+The tuple-heap rewrite must not change where jitter draws come from —
+each firing offset is drawn from the task's *named* RNG stream, so the
+whole trace stays reproducible from the master seed.
+"""
+
+from repro.sim.kernel import Simulator
+
+
+class TestJitterFireCount:
+    def test_fire_count_matches_unjittered_count(self):
+        # jitter is bounded by ±1 around a 10 s interval, so over a long
+        # horizon the count can drift from the exact schedule by at most
+        # one firing at each end.
+        sim = Simulator(seed=11)
+        task = sim.every(10.0, lambda: None, jitter=1.0)
+        sim.run_until(1000.0)
+        assert 99 <= task.fire_count <= 102
+
+    def test_fire_count_attribute_tracks_calls(self):
+        sim = Simulator(seed=11)
+        calls = []
+        task = sim.every(10.0, lambda: calls.append(sim.now), jitter=2.0)
+        sim.run_until(200.0)
+        assert task.fire_count == len(calls)
+
+    def test_jitter_offsets_bounded(self):
+        sim = Simulator(seed=5)
+        times = []
+        sim.every(10.0, lambda: times.append(sim.now), jitter=3.0)
+        sim.run_until(500.0)
+        # Next firing is scheduled at (previous base + interval) ± jitter,
+        # so consecutive gaps stay within interval ± 2*jitter.
+        for a, b in zip(times, times[1:]):
+            assert 10.0 - 2 * 3.0 <= b - a <= 10.0 + 2 * 3.0
+
+
+class TestMidFlightCancellation:
+    def test_cancel_between_firings_stops_armed_event(self):
+        sim = Simulator(seed=7)
+        times = []
+        task = sim.every(10.0, lambda: times.append(sim.now), jitter=1.0)
+        sim.run_until(35.0)
+        fired_before = list(times)
+        task.cancel()
+        # The already-armed next firing must not go off.
+        before = sim.pending_events()
+        sim.run_until(500.0)
+        assert times == fired_before
+        assert task.fire_count == len(fired_before)
+        assert sim.pending_events() <= before
+
+    def test_cancel_inside_callback_with_jitter(self):
+        sim = Simulator(seed=7)
+        holder = {}
+
+        def cb():
+            if sim.now >= 25.0:
+                holder["task"].cancel()
+
+        holder["task"] = sim.every(10.0, cb, jitter=1.0)
+        sim.run_until(500.0)
+        final = holder["task"].fire_count
+        sim.run_until(1000.0)
+        assert holder["task"].fire_count == final
+
+    def test_cancelled_task_never_rearms(self):
+        sim = Simulator(seed=3)
+        task = sim.every(5.0, lambda: None, jitter=0.5)
+        task.cancel()
+        sim.run_until(100.0)
+        assert task.fire_count == 0
+
+
+class TestJitterRngStream:
+    def test_draws_come_from_named_stream(self):
+        # Replay the stream by hand: every arming (including the first)
+        # draws one uniform(-j, +j) from the task's named stream and
+        # fires at max(now, base + offset).  A simulator whose only
+        # jitter consumer is the task must match the replay exactly.
+        seed, interval, jitter, horizon = 21, 10.0, 2.0, 100.0
+        sim = Simulator(seed=seed)
+        times = []
+        sim.every(interval, lambda: times.append(sim.now), jitter=jitter,
+                  rng_stream="my-jitter")
+        sim.run_until(horizon)
+
+        replay = Simulator(seed=seed)
+        stream = replay.rng.stream("my-jitter")
+        expected = []
+        now, base = 0.0, 0.0
+        while True:
+            offset = stream.uniform(-jitter, jitter)
+            when = max(now, base + offset)
+            if when > horizon:
+                break
+            expected.append(when)
+            now = when
+            base = when + interval
+        assert times == expected
+
+    def test_custom_stream_name_isolates_draws(self):
+        # Two same-seed sims; consuming the *default* jitter stream in
+        # one must not perturb a task bound to its own named stream.
+        def run(burn_default: bool):
+            sim = Simulator(seed=13)
+            if burn_default:
+                sim.rng.stream("periodic-jitter").random()
+            times = []
+            sim.every(10.0, lambda: times.append(sim.now), jitter=1.0,
+                      rng_stream="isolated-jitter")
+            sim.run_until(200.0)
+            return times
+
+        assert run(False) == run(True)
+
+    def test_default_stream_shared_draw_order_is_deterministic(self):
+        def run():
+            sim = Simulator(seed=99)
+            a_times, b_times = [], []
+            sim.every(7.0, lambda: a_times.append(sim.now), jitter=1.0)
+            sim.every(11.0, lambda: b_times.append(sim.now), jitter=1.0)
+            sim.run_until(300.0)
+            return a_times, b_times
+
+        assert run() == run()
