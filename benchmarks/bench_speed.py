@@ -19,7 +19,6 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import hashlib
 import json
 import sys
 import time
@@ -40,14 +39,9 @@ QUICK_HORIZON_S = 600.0
 
 
 def trace_digest(platform) -> str:
-    h = hashlib.sha256()
-    for t in platform.traces:
-        h.update(repr((t.call_id, t.function, t.submit_time,
-                       t.start_time_requested, t.dispatch_time, t.finish_time,
-                       t.region_submitted, t.region_executed, t.worker,
-                       t.outcome, t.cpu_minstr, t.memory_mb, t.exec_time_s,
-                       t.attempts)).encode())
-    return h.hexdigest()
+    # Delegates to the library so benches and the sweep engine can never
+    # drift apart on what "behaviorally identical" means.
+    return platform.traces.digest()
 
 
 def run_benchmark(mode: str, label: str = "") -> dict:
@@ -127,6 +121,14 @@ def main(argv=None) -> int:
                   f"({args.max_regression:.0%} regression budget)")
             return 1
         print(f"OK: above the {floor:.0f} events/sec regression floor")
+        return 0
+
+    if baseline and baseline.get("label") == rec["label"] and \
+            baseline.get("trace_digest") == rec["trace_digest"]:
+        # Same label and bit-identical behavior as the newest committed
+        # record of this mode: appending would only accumulate noise.
+        print(f"unchanged: newest {mode} record already has this label "
+              f"and trace digest; not appending")
         return 0
 
     records.append(rec)

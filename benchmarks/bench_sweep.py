@@ -1,0 +1,128 @@
+"""Sweep engine benchmark: serial vs parallel wall clock + determinism.
+
+Runs the same 8-run seed sweep twice — ``--workers 1`` (serial,
+in-process) and ``--workers N`` (spawn pool) — and records both wall
+clocks, the speedup, and whether every per-run trace digest is
+bit-identical between the two executions, into ``BENCH_sweep.json`` at
+the repo root.  Digest stability is the load-bearing claim: parallelism
+must be a pure wall-clock optimization, never a behavior change.
+
+Speedup scales with physical cores; the record carries ``cpu_count`` so
+a ~1× result on a 1-core container is legible next to a ~4× result on a
+4-core machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py            # 1 h per run
+    PYTHONPATH=src python benchmarks/bench_sweep.py --quick    # 15 min per run
+    PYTHONPATH=src python benchmarks/bench_sweep.py --quick --check
+        # CI gate: no file write; exits 1 on digest divergence between
+        # serial and parallel execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+BENCH_FILE = REPO_ROOT / "BENCH_sweep.json"
+
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sweep import build_grid, run_sweep, sweep_report  # noqa: E402
+
+N_RUNS = 8
+FULL_HORIZON_S = 3600.0
+QUICK_HORIZON_S = 900.0
+
+
+def timed_sweep(specs, workers: int):
+    t0 = time.perf_counter()
+    results = run_sweep(specs, workers=workers)
+    wall = time.perf_counter() - t0
+    return results, wall
+
+
+def run_benchmark(mode: str, workers: int, label: str = "") -> dict:
+    horizon = QUICK_HORIZON_S if mode == "quick" else FULL_HORIZON_S
+    specs = build_grid(n_reps=N_RUNS, master_seed=7, horizon_s=horizon,
+                       total_rate=4.0, n_functions=40, n_regions=4)
+
+    serial, wall_serial = timed_sweep(specs, workers=1)
+    parallel, wall_parallel = timed_sweep(specs, workers=workers)
+
+    digests_serial = [r.trace_digest for r in serial]
+    digests_parallel = [r.trace_digest for r in parallel]
+    report = sweep_report(serial)
+    util = report["aggregates"].get("baseline", {}).get("fleet_util_mean", {})
+    return {
+        "mode": mode,
+        "label": label,
+        "horizon_s": horizon,
+        "n_runs": N_RUNS,
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "wall_serial_s": round(wall_serial, 3),
+        "wall_parallel_s": round(wall_parallel, 3),
+        "speedup": round(wall_serial / wall_parallel, 3),
+        "all_ok": all(r.ok for r in serial + parallel),
+        "digests_identical": digests_serial == digests_parallel,
+        "digests": [d[:16] for d in digests_serial],
+        "fleet_util_mean": round(util.get("mean", 0.0), 4),
+        "fleet_util_ci95": round(util.get("ci95", 0.0), 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="15-minute runs instead of 1-hour runs")
+    parser.add_argument("--workers", type=int,
+                        default=min(4, os.cpu_count() or 1),
+                        help="parallel worker count (default min(4, cores))")
+    parser.add_argument("--check", action="store_true",
+                        help="no file write; exit 1 unless all runs "
+                             "succeeded with identical digests")
+    parser.add_argument("--label", default="",
+                        help="free-form description stored with the record")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    rec = run_benchmark(mode, max(args.workers, 2), args.label)
+
+    print(f"[{mode}] {rec['n_runs']}-run sweep on {rec['cpu_count']} core(s): "
+          f"serial {rec['wall_serial_s']:.1f}s, "
+          f"parallel({rec['workers']}w) {rec['wall_parallel_s']:.1f}s "
+          f"-> {rec['speedup']:.2f}x speedup")
+    print(f"digests identical: {rec['digests_identical']}, "
+          f"all ok: {rec['all_ok']}, "
+          f"fleet util {rec['fleet_util_mean']:.3f} "
+          f"± {rec['fleet_util_ci95']:.4f} (95% CI, {rec['n_runs']} seeds)")
+    if (rec["cpu_count"] or 1) < 4:
+        print(f"note: only {rec['cpu_count']} core(s) visible; speedup is "
+              f"spawn-overhead-bound here and meaningful only on 4+ cores")
+
+    if args.check:
+        if not (rec["all_ok"] and rec["digests_identical"]):
+            print("FAIL: sweep runs failed or diverged between serial and "
+                  "parallel execution")
+            return 1
+        print("OK: serial and parallel sweeps are behaviorally identical")
+        return 0
+
+    records = json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else []
+    records.append(rec)
+    BENCH_FILE.write_text(json.dumps(records, indent=1) + "\n")
+    print(f"appended record to {BENCH_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,27 +8,22 @@ quota mix, TAO downstream stack).  Figures 2, 4, 7, 8, 9, 10, 11 and
 Tables 1/3 are all read off this single run, exactly as the paper reads
 them off production.
 
+The builder itself lives in :mod:`repro.scenarios` so the sweep engine
+can run it in worker processes; this module re-exports it for the
+benchmarks (``from conftest import build_dayrun`` keeps working).
+
 Every benchmark writes the rows/series it reproduces into
 ``benchmarks/results/<name>.txt`` (and asserts the qualitative shape).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 from pathlib import Path
 
 import pytest
 
-from repro import PlatformParams, Simulator, XFaaS
-from repro.cluster import MachineSpec, size_topology_for_utilization
-from repro.core import LocalityParams, SchedulerParams, UtilizationParams
-from repro.downstream import ServiceRegistry, build_tao_stack
-from repro.workloads import (ArrivalGenerator, DiurnalRate, TriggerType,
-                             attach_spike, build_population,
-                             estimate_demand_minstr, figure4_spike)
+from repro.scenarios import DAY_S, DayRun, build_dayrun  # noqa: F401
 
-DAY_S = 86_400.0
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -39,77 +34,6 @@ def write_result(name: str, text: str) -> Path:
     # Also echo to stdout for `pytest -s` runs.
     print(f"\n===== {name} =====\n{text}")
     return path
-
-
-@dataclass
-class DayRun:
-    sim: Simulator
-    platform: XFaaS
-    population: object
-    spiky_function: str
-    horizon_s: float
-    n_regions: int
-
-    @property
-    def specs_by_trigger(self):
-        counts = {t.value: 0 for t in TriggerType}
-        for load in self.population.loads:
-            counts[load.spec.trigger.value] += 1
-        return counts
-
-
-def build_dayrun(seed: int = 7, total_rate: float = 8.0,
-                 horizon_s: float = DAY_S,
-                 params_override: PlatformParams = None) -> DayRun:
-    """Build and run the shared full-day simulation."""
-    sim = Simulator(seed=seed)
-    diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=4.3)
-    population = build_population(
-        n_functions=60, total_rate=total_rate,
-        opportunistic_fraction=0.6, diurnal=diurnal)
-
-    # The Figure 4 client: a scaled 20M-calls-in-15-minutes burst on one
-    # queue-triggered function, placed in the morning.
-    spiky_function = next(
-        l.spec.name for l in population.loads
-        if l.spec.trigger is TriggerType.QUEUE and l.spec.is_delay_tolerant)
-    burst_calls = total_rate * 900.0  # ~15 simulated minutes of mean load
-    attach_spike(population, spiky_function,
-                 figure4_spike(scale=burst_calls / 20.0e6,
-                               start_s=6 * 3600.0))
-
-    machine = MachineSpec(cores=2, core_mips=500, threads=48)
-    demand = estimate_demand_minstr(population, core_mips=machine.core_mips)
-    topology = size_topology_for_utilization(
-        demand, target_utilization=0.70, n_regions=6, machine_spec=machine)
-
-    services = ServiceRegistry()
-    build_tao_stack(sim, services, tao_capacity_rps=1.0e5,
-                    wtcache_capacity_rps=1.0e5, kvstore_capacity_rps=1.0e5)
-
-    params = params_override or PlatformParams(
-        scheduler=SchedulerParams(poll_interval_s=2.0, buffer_capacity=1000,
-                                  runq_capacity=300),
-        utilization=UtilizationParams(target_utilization=0.72),
-        locality=LocalityParams(n_groups=3),
-        distinct_window_s=3600.0,
-        memory_sample_interval_s=120.0,
-    )
-    platform = XFaaS(sim, topology, params, services=services)
-    for spec in population.specs:
-        platform.register_function(spec)
-    # The spiky client goes to the spiky submitter pool (§4.2).
-    platform.register_spiky_client(
-        platform.spec(spiky_function).team)
-
-    ArrivalGenerator(sim, population,
-                     lambda spec, delay: platform.submit(
-                         spec.name, start_delay_s=delay),
-                     tick_s=20.0, stop_at=horizon_s)
-    sim.run_until(horizon_s)
-    return DayRun(sim=sim, platform=platform, population=population,
-                  spiky_function=spiky_function, horizon_s=horizon_s,
-                  n_regions=6)
 
 
 @pytest.fixture(scope="session")

@@ -4,4 +4,8 @@ import sys
 
 from .cli import main
 
-sys.exit(main())
+# The __name__ guard matters: multiprocessing's spawn start method
+# re-imports this module as "__mp_main__" in every worker process of a
+# `repro sweep`, and an unguarded main() would recurse into the CLI.
+if __name__ == "__main__":
+    sys.exit(main())

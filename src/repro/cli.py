@@ -4,18 +4,27 @@ Examples::
 
     python -m repro simulate --hours 6 --rate 4 --regions 4
     python -m repro simulate --hours 24 --rate 8 --no-time-shifting
+    python -m repro simulate --hours 2 --json
+    python -m repro sweep --runs 4 --workers 4 --ablate time-shifting
     python -m repro lifecycle
     python -m repro growth --years 5
 
 ``simulate`` builds the same paper-shaped workload the benchmark suite
 uses (diurnal 4.3× peak-to-trough with midnight spike, Table 1 trigger
 mix, Table 3 resource distributions), sizes a fleet for ~70% mean
-utilization, runs it, and prints the Figure 2/7/8-style summary.
+utilization, runs it, and prints the Figure 2/7/8-style summary (or a
+machine-readable JSON document with ``--json``).
+
+``sweep`` fans a grid of (variant × seed) dayrun simulations out over
+worker processes and reports per-variant mean ± 95% CI for the headline
+statistics — the multi-seed backing for the Fig 7 utilization claim and
+the ablation grid.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
 import sys
 
@@ -60,9 +69,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                          spec.name, start_delay_s=delay),
                      tick_s=20.0, stop_at=horizon_s)
 
-    print(f"simulating {args.hours} h, {args.rate} calls/s mean, "
-          f"{topology.total_workers('default')} workers over "
-          f"{args.regions} regions ...", flush=True)
+    if not args.json:
+        print(f"simulating {args.hours} h, {args.rate} calls/s mean, "
+              f"{topology.total_workers('default')} workers over "
+              f"{args.regions} regions ...", flush=True)
     sim.run_until(horizon_s)
 
     received, executed = received_vs_executed(platform, 0, horizon_s)
@@ -70,6 +80,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                         horizon_s)
     fleet = [v for _, v in fleet_utilization_series(
         platform, min(3600.0, horizon_s / 4), horizon_s, 600.0)]
+
+    if args.json:
+        print(json.dumps(_simulate_summary(args, platform, sim,
+                                           utils, fleet), indent=1))
+        return 0
 
     print()
     print(series_block("received per minute", received))
@@ -99,6 +114,110 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"peak-to-trough {peak_to_trough(fleet, 0.02):.2f}x "
               f"(paper: 66% mean, 1.4x)")
     return 0
+
+
+def _simulate_summary(args: argparse.Namespace, platform: XFaaS,
+                      sim: Simulator, utils: dict, fleet: list) -> dict:
+    """Machine-readable run summary for ``simulate --json``.
+
+    Consumed by the sweep aggregator and CI; keys are stable API.
+    """
+    metrics = platform.metrics
+    summary = {
+        "config": {
+            "hours": args.hours, "rate": args.rate,
+            "functions": args.functions, "regions": args.regions,
+            "seed": args.seed, "peak_to_trough": args.peak_to_trough,
+            "opportunistic": args.opportunistic,
+            "target_utilization": args.target_utilization,
+            "locality_groups": args.locality_groups,
+            "time_shifting": not args.no_time_shifting,
+            "global_dispatch": not args.no_global_dispatch,
+        },
+        "events_executed": sim.events_executed,
+        "submitted": platform.submitted_count,
+        "completed": platform.completed_count(),
+        "backlog": platform.pending_backlog(),
+        "throttled": (metrics.counter("calls.throttled").total
+                      if metrics.has_counter("calls.throttled") else 0.0),
+        "trace_digest": platform.traces.digest(),
+        "region_utilization": {r: u for r, u in sorted(utils.items())},
+        "fleet_util_mean": statistics.mean(fleet) if fleet else 0.0,
+        "fleet_util_peak_to_trough": (peak_to_trough(fleet, 0.02)
+                                      if fleet else 0.0),
+    }
+    if metrics.has_distribution("latency.completion"):
+        lat = metrics.distribution("latency.completion")
+        if len(lat):
+            summary["latency_s"] = {"p50": lat.percentile(50),
+                                    "p95": lat.percentile(95),
+                                    "p99": lat.percentile(99)}
+    return summary
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import ABLATIONS, build_grid, run_sweep, sweep_report
+
+    variants = [("baseline", {})]
+    for name in args.ablate or []:
+        variants.append((f"no {name}", dict(ABLATIONS[name])))
+    specs = build_grid(
+        n_reps=args.runs, master_seed=args.master_seed, variants=variants,
+        horizon_s=args.hours * 3600.0, total_rate=args.rate,
+        n_functions=args.functions, n_regions=args.regions)
+
+    if not args.json:
+        print(f"sweeping {len(specs)} runs ({len(variants)} variant(s) × "
+              f"{args.runs} seed(s), {args.hours} h each) on "
+              f"{args.workers} worker(s) ...", flush=True)
+    results = run_sweep(specs, workers=args.workers,
+                        mp_context=args.start_method,
+                        chunksize=args.chunksize)
+    report = sweep_report(results)
+
+    if args.json:
+        print(json.dumps(report, indent=1))
+        return 1 if report["n_failed"] else 0
+
+    rows = []
+    for res in report["runs"]:
+        summ = res["summary"]
+        rows.append([
+            res["index"], res["label"], res["seed"] % 100_000,
+            "ok" if res["ok"] else "FAILED",
+            res["trace_digest"][:12],
+            summ.get("completed", "-"),
+            f"{summ['fleet_util_mean']:.3f}" if "fleet_util_mean" in summ
+            else "-",
+            f"{res['wall_s']:.1f}",
+        ])
+    print(format_table(
+        ["run", "variant", "seed%1e5", "status", "digest", "completed",
+         "fleet util", "wall (s)"], rows, title="sweep runs"))
+    print()
+    agg_rows = []
+    for label, stats in report["aggregates"].items():
+        for key in ("fleet_util_mean", "completed", "latency_p50_s",
+                    "latency_p95_s"):
+            if key in stats:
+                s = stats[key]
+                ci = "" if s["n"] < 2 else f" ± {s['ci95']:.4g}"
+                agg_rows.append([label, key, s["n"],
+                                 f"{s['mean']:.4g}{ci}"])
+    print(format_table(["variant", "statistic", "n", "mean ± 95% CI"],
+                       agg_rows, title="per-variant aggregates"))
+    if report["merged_latency"]:
+        print()
+        print(format_table(
+            ["variant", "samples", "P50 (s)", "P95 (s)", "P99 (s)"],
+            [[label, q["count"], f"{q['p50_s']:.1f}", f"{q['p95_s']:.1f}",
+              f"{q['p99_s']:.1f}"]
+             for label, q in report["merged_latency"].items()],
+            title="merged completion latency (all seeds pooled)"))
+    failed = [r for r in report["runs"] if not r["ok"]]
+    for res in failed:
+        print(f"\nrun {res['index']} ({res['label']}) FAILED:\n{res['error']}")
+    return 1 if failed else 0
 
 
 def _cmd_lifecycle(args: argparse.Namespace) -> int:
@@ -153,7 +272,36 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--locality-groups", type=int, default=3)
     sim_p.add_argument("--no-time-shifting", action="store_true")
     sim_p.add_argument("--no-global-dispatch", action="store_true")
+    sim_p.add_argument("--json", action="store_true",
+                       help="emit the run summary as machine-readable JSON")
     sim_p.set_defaults(func=_cmd_simulate)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a multi-seed / ablation grid across CPU cores")
+    sweep_p.add_argument("--runs", type=int, default=4,
+                         help="seeds (repetitions) per variant")
+    sweep_p.add_argument("--master-seed", type=int, default=7,
+                         help="per-run seeds are derived from this")
+    sweep_p.add_argument("--hours", type=float, default=2.0,
+                         help="simulated horizon per run")
+    sweep_p.add_argument("--rate", type=float, default=4.0)
+    sweep_p.add_argument("--functions", type=int, default=40)
+    sweep_p.add_argument("--regions", type=int, default=4)
+    sweep_p.add_argument("--ablate", action="append",
+                         choices=sorted(
+                             ("time-shifting", "global-dispatch",
+                              "locality-groups", "cooperative-jit", "aimd")),
+                         help="add a variant with this §1.2 technique off "
+                              "(repeatable)")
+    sweep_p.add_argument("--workers", type=int, default=1,
+                         help="worker processes (1 = serial, in-process)")
+    sweep_p.add_argument("--start-method", default="spawn",
+                         choices=("spawn", "fork", "forkserver"))
+    sweep_p.add_argument("--chunksize", type=int, default=None,
+                         help="specs dispatched per pool task (default 1)")
+    sweep_p.add_argument("--json", action="store_true",
+                         help="emit the full sweep report as JSON")
+    sweep_p.set_defaults(func=_cmd_sweep)
 
     life_p = sub.add_parser("lifecycle",
                             help="print the Figure 1 lifecycle cost table")

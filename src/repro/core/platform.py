@@ -95,6 +95,7 @@ class XFaaS:
         self.params = params
         self.metrics = MetricsRegistry()
         self.traces = TraceLog()
+        self._next_call_id = 0
         self.services = services or ServiceRegistry()
         self.namespaces = NamespaceRegistry()
         self.config = ConfigStore(sim, params.config_propagation_s)
@@ -281,11 +282,17 @@ class XFaaS:
             raise ValueError("start_delay_s must be >= 0")
         region = region or self._pick_client_region()
         now = self.sim.now
+        # call_id comes from the platform's own counter, not the
+        # module-global default: ids (and thus trace digests) must depend
+        # only on this run, never on how many simulations the process
+        # ran before — the sweep engine compares digests across workers.
+        self._next_call_id += 1
         call = FunctionCall(spec=spec, submit_time=now,
                             start_time=now + start_delay_s,
                             region_submitted=region,
                             source_level=source_level,
-                            args_size_kb=args_size_kb)
+                            args_size_kb=args_size_kb,
+                            call_id=self._next_call_id)
         self.metrics.counter("calls.received").add(now)
         self.submitted_count += 1
         accepted = self.frontends[region].submit(call)

@@ -4,6 +4,15 @@ Components that run for a long simulated time (e.g. the Central Rate
 Limiter tracking per-call cost) cannot keep every sample.  The P²
 algorithm (Jain & Chlamtac, 1985) maintains a five-marker parabolic
 approximation of a single quantile in O(1) memory.
+
+All estimators here support ``snapshot()`` / ``from_snapshot()`` /
+``merge()`` for the sweep engine (:mod:`repro.sweep`).  A
+:class:`StreamingMean` merge is exact (Chan et al. parallel
+mean/variance); a :class:`P2Quantile` merge is a count-weighted marker
+merge — extremes take min/max, interior marker heights average weighted
+by each shard's sample count, and marker positions are re-idealized for
+the combined count — an approximation that lands within a few percent
+of the single-stream estimate on unimodal streams.
 """
 
 from __future__ import annotations
@@ -91,6 +100,71 @@ class P2Quantile:
             return s[idx]
         return self._heights[2]
 
+    # -- snapshot / merge ------------------------------------------------
+    def snapshot(self) -> dict:
+        return {"kind": "p2quantile", "q": self.q, "count": self.count,
+                "initial": list(self._initial), "n": list(self._n),
+                "np": list(self._np), "heights": list(self._heights)}
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "P2Quantile":
+        est = cls(snap["q"])
+        est.count = snap["count"]
+        est._initial = list(snap["initial"])
+        est._n = list(snap["n"])
+        est._np = list(snap["np"])
+        est._heights = list(snap["heights"])
+        return est
+
+    def merge(self, other: "P2Quantile") -> "P2Quantile":
+        """Fold ``other`` into this estimator (count-weighted markers)."""
+        if other.q != self.q:
+            raise ValueError(
+                f"cannot merge q={other.q} estimator into q={self.q}")
+        if other.count == 0:
+            return self
+        if len(other._initial) < 5:
+            # Other never left its warm-up buffer: replay its raw samples.
+            for x in other._initial:
+                self.add(x)
+            return self
+        if len(self._initial) < 5:
+            # Adopt the initialized side's marker state, replay my buffer.
+            mine = list(self._initial)
+            self._initial = list(other._initial)
+            self._n = list(other._n)
+            self._np = list(other._np)
+            self._heights = list(other._heights)
+            self.count = other.count
+            for x in mine:
+                self.add(x)
+            return self
+
+        wa, wb = self.count, other.count
+        ha, hb = self._heights, other._heights
+        total = wa + wb
+        self._heights = [
+            min(ha[0], hb[0]),
+            (wa * ha[1] + wb * hb[1]) / total,
+            (wa * ha[2] + wb * hb[2]) / total,
+            (wa * ha[3] + wb * hb[3]) / total,
+            max(ha[4], hb[4]),
+        ]
+        # Re-idealize marker positions for the combined count.  Both
+        # inputs were initialized, so total >= 10 leaves room for the
+        # strictly-increasing interior fixups below.
+        self._np = [1 + (total - 1) * d for d in self._dn]
+        n = [1]
+        for i in (1, 2, 3):
+            n.append(max(int(round(self._np[i])), n[-1] + 1))
+        n.append(max(total, n[-1] + 1))
+        for i in (3, 2, 1):
+            if n[i] >= n[i + 1]:
+                n[i] = n[i + 1] - 1
+        self._n = n
+        self.count = total
+        return self
+
 
 class P2Sketch:
     """Multi-quantile streaming sketch: one P² marker set per quantile.
@@ -147,6 +221,35 @@ class P2Sketch:
             out[f"p{q * 100:g}"] = est.value
         return out
 
+    # -- snapshot / merge ------------------------------------------------
+    def snapshot(self) -> dict:
+        return {"kind": "p2sketch", "quantiles": list(self.quantiles),
+                "estimators": [e.snapshot() for e in self._estimators],
+                "mean": self._mean.snapshot(),
+                "min": self.min, "max": self.max}
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "P2Sketch":
+        sketch = cls(tuple(snap["quantiles"]))
+        sketch._estimators = tuple(P2Quantile.from_snapshot(s)
+                                   for s in snap["estimators"])
+        sketch._mean = StreamingMean.from_snapshot(snap["mean"])
+        sketch.min = snap["min"]
+        sketch.max = snap["max"]
+        return sketch
+
+    def merge(self, other: "P2Sketch") -> "P2Sketch":
+        if tuple(other.quantiles) != self.quantiles:
+            raise ValueError(
+                f"cannot merge sketch tracking {other.quantiles} into "
+                f"one tracking {self.quantiles}")
+        for est, oest in zip(self._estimators, other._estimators):
+            est.merge(oest)
+        self._mean.merge(other._mean)
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
 
 class StreamingMean:
     """Incremental mean/variance (Welford) in O(1) memory."""
@@ -173,3 +276,32 @@ class StreamingMean:
         if self.count < 2:
             return 0.0
         return self._m2 / (self.count - 1)
+
+    # -- snapshot / merge ------------------------------------------------
+    def snapshot(self) -> dict:
+        return {"kind": "streamingmean", "count": self.count,
+                "mean": self._mean, "m2": self._m2}
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "StreamingMean":
+        sm = cls()
+        sm.count = snap["count"]
+        sm._mean = snap["mean"]
+        sm._m2 = snap["m2"]
+        return sm
+
+    def merge(self, other: "StreamingMean") -> "StreamingMean":
+        """Exact parallel mean/variance merge (Chan et al., 1979)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count, self._mean, self._m2 = \
+                other.count, other._mean, other._m2
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean = (self.count * self._mean
+                      + other.count * other._mean) / total
+        self.count = total
+        return self

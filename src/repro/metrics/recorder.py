@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Iterable, Sequence, Union
 
 from .percentile import P2Sketch
 from .timeseries import Counter, Distribution, Gauge
@@ -75,3 +75,53 @@ class MetricsRegistry:
     def distributions_matching(self, prefix: str) -> Iterable[Distribution]:
         return (d for n, d in sorted(self._distributions.items())
                 if n.startswith(prefix))
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge: ship a registry across a process boundary as a
+    # plain dict and fold per-shard registries into fleet-level metrics.
+    def snapshot(self) -> dict:
+        return {
+            "counter_window": self.counter_window,
+            "counters": {n: c.snapshot()
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.snapshot()
+                       for n, g in sorted(self._gauges.items())},
+            "distributions": {n: d.snapshot()
+                              for n, d in sorted(self._distributions.items())},
+            "sketches": {n: s.snapshot()
+                         for n, s in sorted(self._sketches.items())},
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "MetricsRegistry":
+        reg = cls(counter_window=snap.get("counter_window", 60.0))
+        for name, s in snap.get("counters", {}).items():
+            reg._counters[name] = Counter.from_snapshot(s)
+        for name, s in snap.get("gauges", {}).items():
+            reg._gauges[name] = Gauge.from_snapshot(s)
+        for name, s in snap.get("distributions", {}).items():
+            reg._distributions[name] = Distribution.from_snapshot(s)
+        for name, s in snap.get("sketches", {}).items():
+            reg._sketches[name] = P2Sketch.from_snapshot(s)
+        return reg
+
+    def merge(self, other: Union["MetricsRegistry", dict]) -> "MetricsRegistry":
+        """Fold another registry (or its :meth:`snapshot`) into this one.
+
+        Metrics present in both are merged per-type; metrics only in
+        ``other`` are deep-copied in, so later mutation of ``other``
+        never aliases into this registry.
+        """
+        if isinstance(other, dict):
+            other = MetricsRegistry.from_snapshot(other)
+        pairs = [(self._counters, other._counters, Counter),
+                 (self._gauges, other._gauges, Gauge),
+                 (self._distributions, other._distributions, Distribution),
+                 (self._sketches, other._sketches, P2Sketch)]
+        for mine, theirs, kind in pairs:
+            for name, metric in theirs.items():
+                if name in mine:
+                    mine[name].merge(metric)
+                else:
+                    mine[name] = kind.from_snapshot(metric.snapshot())
+        return self

@@ -10,7 +10,7 @@ from .events import EventCancelled, EventQueue, ScheduledEvent, Signal
 from .kernel import PeriodicTask, SimulationError, Simulator
 from .process import Process, ProcessKilled, spawn
 from .resources import Resource, Store
-from .rng import RngRegistry, RngStream
+from .rng import RngRegistry, RngStream, derive_seed
 
 __all__ = [
     "EventCancelled",
@@ -26,5 +26,6 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Store",
+    "derive_seed",
     "spawn",
 ]

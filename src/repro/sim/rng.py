@@ -19,9 +19,20 @@ from typing import Dict, Sequence, TypeVar
 T = TypeVar("T")
 
 
-def _derive_seed(master_seed: int, name: str) -> int:
+def derive_seed(master_seed: int, name: str) -> int:
+    """Stable, platform-independent seed for the named child stream.
+
+    Used both for the per-component streams inside one simulation (via
+    :class:`RngRegistry`) and by :mod:`repro.sweep` to derive per-run
+    master seeds from one sweep-level seed, so a sweep is reproducible
+    from a single integer.
+    """
     digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+#: Backwards-compatible alias (pre-sweep internal name).
+_derive_seed = derive_seed
 
 
 class RngStream:
@@ -97,5 +108,5 @@ class RngRegistry:
     def stream(self, name: str) -> RngStream:
         """Return (creating if needed) the stream called ``name``."""
         if name not in self._streams:
-            self._streams[name] = RngStream(name, _derive_seed(self.master_seed, name))
+            self._streams[name] = RngStream(name, derive_seed(self.master_seed, name))
         return self._streams[name]

@@ -8,6 +8,7 @@ without re-running the simulation.
 from __future__ import annotations
 
 import csv
+import hashlib
 from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Iterable, List, Optional
@@ -71,6 +72,24 @@ class TraceLog:
 
     def for_function(self, function: str) -> List[CallTrace]:
         return [t for t in self._traces if t.function == function]
+
+    def digest(self) -> str:
+        """SHA-256 over every call's lifecycle tuple, in arrival order.
+
+        Bit-identical digests mean behaviorally identical runs; the speed
+        and sweep benchmarks compare them across optimizations and across
+        process boundaries.  The field tuple matches the historical
+        ``bench_speed.trace_digest`` so committed baselines stay valid.
+        """
+        h = hashlib.sha256()
+        for t in self._traces:
+            h.update(repr((t.call_id, t.function, t.submit_time,
+                           t.start_time_requested, t.dispatch_time,
+                           t.finish_time, t.region_submitted,
+                           t.region_executed, t.worker, t.outcome,
+                           t.cpu_minstr, t.memory_mb, t.exec_time_s,
+                           t.attempts)).encode())
+        return h.hexdigest()
 
     def save_csv(self, path: Path) -> None:
         path = Path(path)

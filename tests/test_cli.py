@@ -24,6 +24,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.runs == 4
+        assert args.master_seed == 7
+        assert args.workers == 1
+        assert args.start_method == "spawn"
+        assert args.ablate is None
+        assert not args.json
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--runs", "2", "--workers", "4",
+             "--ablate", "time-shifting", "--ablate", "aimd", "--json"])
+        assert args.runs == 2
+        assert args.workers == 4
+        assert args.ablate == ["time-shifting", "aimd"]
+        assert args.json
+
+    def test_sweep_rejects_unknown_ablation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--ablate", "nonsense"])
+
 
 class TestCommands:
     def test_lifecycle_prints_tables(self, capsys):
@@ -47,3 +69,30 @@ class TestCommands:
         assert "received per minute" in out
         assert "FLEET MEAN" in out
         assert "completed" in out
+
+    def test_simulate_json(self, capsys):
+        import json
+        assert main(["simulate", "--hours", "0.5", "--rate", "1.5",
+                     "--regions", "3", "--seed", "1", "--json"]) == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out)
+        assert summary["config"]["hours"] == 0.5
+        assert summary["submitted"] > 0
+        assert summary["completed"] > 0
+        assert len(summary["trace_digest"]) == 64
+        assert len(summary["region_utilization"]) == 3
+        assert set(summary["latency_s"]) == {"p50", "p95", "p99"}
+
+    def test_sweep_smoke_table_and_json(self, capsys):
+        import json
+        argv = ["sweep", "--runs", "2", "--hours", "0.25", "--rate", "1.5",
+                "--functions", "20", "--regions", "3"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "fleet_util_mean" in out
+        assert main(argv + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n_runs"] == 2 and report["n_failed"] == 0
+        assert all(r["ok"] for r in report["runs"])
+        assert "baseline" in report["aggregates"]
