@@ -12,12 +12,11 @@ Also includes the paper's stated future-work sweep: converting reserved
 functions to opportunistic quota increases deferral capacity.
 """
 
-import statistics
 
 from conftest import build_dayrun, write_result
+
 from repro import PlatformParams
-from repro.analysis import (peak_to_trough, received_vs_executed,
-                            region_utilization_averages)
+from repro.analysis import peak_to_trough, received_vs_executed
 from repro.core import LocalityParams, SchedulerParams, UtilizationParams
 
 HORIZON_S = 6 * 3600.0  # 6-hour window covering the midnight spike

@@ -12,11 +12,11 @@ measures each level's completion and queueing delay.
 import math
 
 from conftest import write_result
+
 from repro import PlatformParams, Simulator, XFaaS, build_topology
 from repro.cluster import MachineSpec
 from repro.metrics import format_table
-from repro.workloads import (Criticality, FunctionSpec, LogNormal,
-                             ResourceProfile)
+from repro.workloads import Criticality, FunctionSpec, LogNormal, ResourceProfile
 
 HORIZON_S = 1800.0
 OUTAGE_AT_S = 300.0

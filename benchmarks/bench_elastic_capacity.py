@@ -11,12 +11,12 @@ at-least-once retry path.
 import math
 
 from conftest import write_result
+
 from repro import PlatformParams, Simulator, XFaaS, build_topology
 from repro.cluster import MachineSpec
 from repro.core.elastic import ElasticSchedule
 from repro.metrics import format_table
-from repro.workloads import (FunctionSpec, LogNormal, QuotaType,
-                             ResourceProfile)
+from repro.workloads import FunctionSpec, LogNormal, QuotaType, ResourceProfile
 
 HORIZON_S = 6 * 3600.0
 N_CALLS = 1200

@@ -7,9 +7,9 @@ platform pays seconds of startup plus ≥10 minutes of idle keep-alive
 (Wang et al.).
 """
 
-import pytest
 
 from conftest import write_result
+
 from repro.baselines import BASELINE_STEPS, baseline_model, xfaas_model
 from repro.metrics import format_table
 

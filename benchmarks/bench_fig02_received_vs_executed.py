@@ -7,8 +7,12 @@ capacity only needs to match the executed curve.
 """
 
 from conftest import write_result
-from repro.analysis import (coefficient_of_variation, peak_to_trough,
-                            received_vs_executed)
+
+from repro.analysis import (
+    coefficient_of_variation,
+    peak_to_trough,
+    received_vs_executed,
+)
 from repro.metrics import series_block
 
 DAY_S = 86_400.0

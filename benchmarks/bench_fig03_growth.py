@@ -6,6 +6,7 @@ data-stream trigger launched.
 """
 
 from conftest import write_result
+
 from repro.metrics import sparkline
 from repro.workloads import figure3_model
 
@@ -23,13 +24,13 @@ def test_fig03_growth(benchmark):
         "Figure 3 — normalized daily invocations over 5 years",
         "  " + sparkline(values),
         f"  growth factor over 5 years: {model.growth_factor(1825):.1f}x "
-        f"(paper: ~50x)",
+        "(paper: ~50x)",
     ]
     # Inflection: growth in the launch year vs the year before.
     year4 = model.daily_calls(4 * 365) / model.daily_calls(3 * 365)
     year5 = model.daily_calls(5 * 365) / model.daily_calls(4 * 365)
     lines.append(f"  year-4 growth {year4:.2f}x, year-5 growth {year5:.2f}x "
-                 f"(stream-trigger launch inflection)")
+                 "(stream-trigger launch inflection)")
     write_result("fig03_growth", "\n".join(lines))
 
     assert 40 <= model.growth_factor(1825) <= 60

@@ -7,6 +7,7 @@ the bench's global scale factor; the shape is the claim.)
 """
 
 from conftest import write_result
+
 from repro.metrics import Counter, series_block
 
 DAY_S = 86_400.0
@@ -42,7 +43,7 @@ def test_fig04_spiky_function(dayrun, benchmark):
         series_block("executed per minute", executed),
         "",
         f"received concentrated in ~{rx_span} minutes "
-        f"(paper: 15 minutes)",
+        "(paper: 15 minutes)",
         f"executed spread over ~{ex_span} minutes",
     ])
     write_result("fig04_spiky_function", out)

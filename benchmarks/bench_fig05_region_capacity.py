@@ -6,6 +6,7 @@ which is why cross-region dispatch matters.
 """
 
 from conftest import write_result
+
 from repro.cluster import build_topology
 from repro.metrics import format_table
 

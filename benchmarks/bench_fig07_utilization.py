@@ -8,6 +8,7 @@ typical FaaS platforms, despite the 4.3× spiky received load.
 import statistics
 
 from conftest import write_result
+
 from repro.analysis import region_utilization_averages
 from repro.metrics import format_table
 

@@ -8,6 +8,7 @@ spiky arrival process into near-flat hardware usage.
 import statistics
 
 from conftest import write_result
+
 from repro.analysis import fleet_utilization_series, peak_to_trough
 from repro.metrics import series_block
 
@@ -23,7 +24,7 @@ def test_fig08_utilization_curve(dayrun, benchmark):
         series_block("fleet CPU utilization (10-minute samples)", values),
         "",
         f"utilization peak-to-trough: {p2t:.2f}x "
-        f"(paper: 1.4x, vs 4.3x received)",
+        "(paper: 1.4x, vs 4.3x received)",
         f"mean: {statistics.mean(values):.3f}",
     ])
     write_result("fig08_utilization_curve", out)

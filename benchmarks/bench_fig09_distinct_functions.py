@@ -11,6 +11,7 @@ not the whole population.
 """
 
 from conftest import write_result
+
 from repro.analysis import distinct_functions_percentiles
 from repro.metrics import format_table
 

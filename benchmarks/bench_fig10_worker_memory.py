@@ -8,6 +8,7 @@ memory never runs away, which is what makes 64 GB workers viable.
 import statistics
 
 from conftest import write_result
+
 from repro.analysis import worker_memory_series
 from repro.metrics import series_block
 

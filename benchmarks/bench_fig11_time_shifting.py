@@ -8,8 +8,8 @@ reserved demand dips.
 """
 
 from conftest import write_result
-from repro.analysis import (coefficient_of_variation, complementarity,
-                            pearson, quota_cpu_series)
+
+from repro.analysis import complementarity, pearson, quota_cpu_series
 from repro.metrics import series_block
 
 DAY_S = 86_400.0
@@ -19,7 +19,9 @@ BUCKET_S = 1800.0  # half-hour buckets smooth sampling noise
 def build_series(dayrun):
     reserved, opportunistic = quota_cpu_series(dayrun.platform, 0, DAY_S)
     k = int(BUCKET_S / 60.0)
-    bucket = lambda xs: [sum(xs[i:i + k]) for i in range(0, len(xs), k)]
+
+    def bucket(xs):
+        return [sum(xs[i:i + k]) for i in range(0, len(xs), k)]
     return bucket(reserved), bucket(opportunistic)
 
 
@@ -34,9 +36,9 @@ def test_fig11_time_shifting(dayrun, benchmark):
                      opportunistic),
         "",
         f"pearson(reserved, opportunistic) = {corr:.3f} "
-        f"(complement => negative)",
+        "(complement => negative)",
         f"CV(total) / CV(reserved) = {comp:.3f} "
-        f"(< 1 means opportunistic fills the troughs)",
+        "(< 1 means opportunistic fills the troughs)",
     ])
     write_result("fig11_time_shifting", out)
 

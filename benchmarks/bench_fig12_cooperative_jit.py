@@ -12,9 +12,11 @@ time to reach 95% of max RPS after each restart.
 import math
 
 from conftest import write_result
+
 from repro.analysis import time_to_reach
 from repro.cluster import MachineSpec
 from repro.core import FunctionCall, Worker
+from repro.core.call import CallIdAllocator
 from repro.metrics import sparkline
 from repro.sim import Simulator
 from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
@@ -37,11 +39,14 @@ def run_restart(seeded: bool, horizon_s: float = 2100.0):
     completions = []
     worker.on_finish = lambda call, outcome: completions.append(sim.now)
 
+    ids = CallIdAllocator()
+
     def offer():
         # Saturate: keep offering until admission refuses.
         while True:
             call = FunctionCall(spec=spec, submit_time=sim.now,
-                                start_time=sim.now, region_submitted="r")
+                                start_time=sim.now, region_submitted="r",
+                                call_id=ids.allocate())
             if not worker.execute(call):
                 break
     task = sim.every(0.1, offer)
@@ -71,9 +76,9 @@ def test_fig12_cooperative_jit(benchmark):
         "  without (self-profiling): " +
         sparkline([v for _, v in unseeded]),
         f"  time to max RPS with profile data:    {t_seeded / 60:.1f} min "
-        f"(paper: 3 min)",
+        "(paper: 3 min)",
         f"  time to max RPS without profile data: {t_unseeded / 60:.1f} min "
-        f"(paper: 21 min)",
+        "(paper: 21 min)",
         f"  ratio: {t_unseeded / max(t_seeded, 1e-9):.1f}x (paper: 7x)",
     ]
     write_result("fig12_cooperative_jit", "\n".join(lines))

@@ -14,9 +14,18 @@ traffic, all without manual intervention.
 import math
 
 from conftest import write_result
-from repro import (FunctionSpec, Incident, IncidentInjector, PlatformParams,
-                   ServiceRegistry, Simulator, XFaaS, build_tao_stack,
-                   build_topology)
+
+from repro import (
+    FunctionSpec,
+    Incident,
+    IncidentInjector,
+    PlatformParams,
+    ServiceRegistry,
+    Simulator,
+    XFaaS,
+    build_tao_stack,
+    build_topology,
+)
 from repro.core import CongestionParams
 from repro.metrics import series_block
 from repro.workloads import LogNormal, ResourceProfile

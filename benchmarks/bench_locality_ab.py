@@ -10,15 +10,19 @@ ephemeral memory hogs) on two identical platforms differing only in the
 locality flag and compares worker memory distributions.
 """
 
-import pytest
 
 from conftest import write_result
+
 from repro import PlatformParams, Simulator, XFaaS, build_topology
 from repro.cluster import MachineSpec
 from repro.core import LocalityParams, WorkerParams
 from repro.metrics import format_table
-from repro.workloads import (ArrivalGenerator, ConstantRate, all_examples,
-                             build_population)
+from repro.workloads import (
+    ArrivalGenerator,
+    ConstantRate,
+    all_examples,
+    build_population,
+)
 
 HORIZON_S = 3 * 3600.0
 

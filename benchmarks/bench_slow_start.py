@@ -6,6 +6,7 @@ gradually, giving caches and autoscalers time to warm.
 """
 
 from conftest import write_result
+
 from repro.core import CongestionController, CongestionParams
 from repro.metrics import sparkline
 from repro.workloads import FunctionSpec

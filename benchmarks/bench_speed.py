@@ -8,8 +8,10 @@ behavioral drift of an "optimization" visible next to its speedup.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_speed.py           # full (1 h horizon), appends a record
-    PYTHONPATH=src python benchmarks/bench_speed.py --quick   # short smoke run (10 min horizon)
+    PYTHONPATH=src python benchmarks/bench_speed.py
+        # full (1 h horizon), appends a record
+    PYTHONPATH=src python benchmarks/bench_speed.py --quick
+        # short smoke run (10 min horizon)
     PYTHONPATH=src python benchmarks/bench_speed.py --quick --check
         # CI gate: no file write; exits 1 when events/sec drops more
         # than --max-regression (default 25%) below the newest committed
@@ -107,7 +109,7 @@ def main(argv=None) -> int:
         if baseline.get("trace_digest") and \
                 baseline.get("horizon_s") == rec["horizon_s"]:
             same = baseline["trace_digest"] == rec["trace_digest"]
-            print(f"trace digest vs baseline: "
+            print("trace digest vs baseline: "
                   f"{'identical' if same else 'DIVERGED'}")
 
     if args.check:
@@ -128,7 +130,7 @@ def main(argv=None) -> int:
         # Same label and bit-identical behavior as the newest committed
         # record of this mode: appending would only accumulate noise.
         print(f"unchanged: newest {mode} record already has this label "
-              f"and trace digest; not appending")
+              "and trace digest; not appending")
         return 0
 
     records.append(rec)

@@ -107,7 +107,7 @@ def main(argv=None) -> int:
           f"± {rec['fleet_util_ci95']:.4f} (95% CI, {rec['n_runs']} seeds)")
     if (rec["cpu_count"] or 1) < 4:
         print(f"note: only {rec['cpu_count']} core(s) visible; speedup is "
-              f"spawn-overhead-bound here and meaningful only on 4+ cores")
+              "spawn-overhead-bound here and meaningful only on 4+ cores")
 
     if args.check:
         if not (rec["all_ok"] and rec["digests_identical"]):

@@ -9,6 +9,7 @@ Paper numbers (one production month):
 """
 
 from conftest import write_result
+
 from repro.analysis import table1_from_traces
 from repro.metrics import format_table
 

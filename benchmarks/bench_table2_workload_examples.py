@@ -6,6 +6,7 @@ and consume orders of magnitude more CPU than ordinary functions.
 """
 
 from conftest import write_result
+
 from repro.metrics import format_table
 from repro.workloads import table2_rows
 

@@ -11,6 +11,7 @@ execution from 24 ms at P10 to ~11 min at P99).
 """
 
 from conftest import write_result
+
 from repro.metrics import format_table
 from repro.sim import RngStream
 from repro.workloads import TriggerType, profile_for
@@ -31,7 +32,9 @@ def sample_table():
         cpu = sorted(profile.cpu_minstr.sample(rng) for _ in range(N))
         mem = sorted(profile.memory_mb.sample(rng) for _ in range(N))
         ex = sorted(profile.exec_time_s.sample(rng) for _ in range(N))
-        pct = lambda v, p: v[min(N - 1, int(p / 100 * N))]
+
+        def pct(v, p):
+            return v[min(N - 1, int(p / 100 * N))]
         out[trigger.value] = {
             "cpu": [pct(cpu, p) for p in (10, 50, 90, 99)],
             "mem": [pct(mem, p) for p in (10, 50, 90, 99)],

@@ -5,6 +5,7 @@ total capacity, 0.4% of teams consume 50%, and 2.6% consume 90%.
 """
 
 from conftest import write_result
+
 from repro.metrics import format_table
 from repro.workloads import capacity_concentration, team_weights
 

@@ -16,9 +16,9 @@ and compares hardware cost per unit of billable work: reserved
 memory-time and CPU utilization.
 """
 
-import math
 
 from conftest import write_result
+
 from repro import PlatformParams, Simulator, XFaaS, build_topology
 from repro.baselines import ContainerPool, ContainerPoolParams
 from repro.cluster import MachineSpec

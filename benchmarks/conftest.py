@@ -22,7 +22,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.scenarios import DAY_S, DayRun, build_dayrun  # noqa: F401
+from repro.scenarios import DayRun, build_dayrun
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

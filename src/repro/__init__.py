@@ -26,14 +26,26 @@ Subpackages:
 """
 
 from .cluster import MachineSpec, NetworkModel, Region, Topology, build_topology
-from .core import (CallOutcome, CallState, FunctionCall, PlatformParams,
-                   XFaaS)
-from .downstream import (DownstreamService, Incident, IncidentInjector,
-                         ServiceParams, ServiceRegistry, build_tao_stack)
+from .core import CallOutcome, CallState, FunctionCall, PlatformParams, XFaaS
+from .downstream import (
+    DownstreamService,
+    Incident,
+    IncidentInjector,
+    ServiceParams,
+    ServiceRegistry,
+    build_tao_stack,
+)
 from .sim import Simulator
-from .workloads import (Criticality, DiurnalRate, FunctionSpec, QuotaType,
-                        ResourceProfile, RetryPolicy, TriggerType,
-                        build_population)
+from .workloads import (
+    Criticality,
+    DiurnalRate,
+    FunctionSpec,
+    QuotaType,
+    ResourceProfile,
+    RetryPolicy,
+    TriggerType,
+    build_population,
+)
 
 __version__ = "1.0.0"
 

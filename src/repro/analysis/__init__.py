@@ -1,12 +1,23 @@
 """Analysis: shape statistics and table/figure builders."""
 
-from .figures import (backpressure_series, distinct_functions_percentiles,
-                      fleet_utilization_series, quota_cpu_series,
-                      received_vs_executed, region_utilization_averages,
-                      worker_memory_series)
-from .shapes import (coefficient_of_variation, complementarity, normalize,
-                     peak_to_trough, pearson, smoothing_factor,
-                     time_to_reach)
+from .figures import (
+    backpressure_series,
+    distinct_functions_percentiles,
+    fleet_utilization_series,
+    quota_cpu_series,
+    received_vs_executed,
+    region_utilization_averages,
+    worker_memory_series,
+)
+from .shapes import (
+    coefficient_of_variation,
+    complementarity,
+    normalize,
+    peak_to_trough,
+    pearson,
+    smoothing_factor,
+    time_to_reach,
+)
 from .tables import aggregate_percentiles, table1_from_traces, table3_from_traces
 
 __all__ = [

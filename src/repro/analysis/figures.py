@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..core.platform import XFaaS
-from ..metrics.timeseries import Counter, Gauge
 
 
 def received_vs_executed(platform: XFaaS, t_start: float = 0.0,

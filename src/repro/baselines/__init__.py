@@ -1,9 +1,13 @@
 """Baseline conventional-FaaS models the paper argues against."""
 
-from .coldstart import (BASELINE_STEPS, LifecycleBreakdown, LifecycleModel,
-                        baseline_model, xfaas_model)
-from .container_pool import (BaselineCallResult, ContainerPool,
-                             ContainerPoolParams)
+from .coldstart import (
+    BASELINE_STEPS,
+    LifecycleBreakdown,
+    LifecycleModel,
+    baseline_model,
+    xfaas_model,
+)
+from .container_pool import BaselineCallResult, ContainerPool, ContainerPoolParams
 
 __all__ = [
     "BASELINE_STEPS",

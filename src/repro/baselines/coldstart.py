@@ -14,7 +14,7 @@ overhead-vs-billable breakdown per call.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 #: Step number → (name, baseline seconds).  Durations follow public
 #: measurements of container-based FaaS platforms (Wang et al. [45]):

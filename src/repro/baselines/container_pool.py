@@ -11,16 +11,14 @@ baseline's hardware waste comes from.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..cluster.machine import CpuAccount
+from ..core.call import CallIdAllocator
 from ..sim.kernel import Simulator
 from ..workloads.spec import FunctionSpec
 from .coldstart import LifecycleModel, baseline_model
-
-_container_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -85,6 +83,9 @@ class ContainerPool:
         self.cpu = CpuAccount(cores=capacity_cores)
         self.capacity_memory_mb = capacity_memory_mb
         self._memory_reserved = 0.0
+        # Per-pool ids: two pools (or two back-to-back runs in one
+        # process) number their containers identically (simlint SL001).
+        self._container_ids = CallIdAllocator()
         self._specs: Dict[str, FunctionSpec] = {}
         self._limits: Dict[str, int] = {}
         self._containers: Dict[str, List[_Container]] = {}
@@ -131,7 +132,7 @@ class ContainerPool:
         if self._memory_reserved + mem > self.capacity_memory_mb:
             self._reject(function, now)
             return
-        container = _Container(container_id=next(_container_ids),
+        container = _Container(container_id=self._container_ids.allocate(),
                                function=function)
         containers.append(container)
         self._memory_reserved += mem

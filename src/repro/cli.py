@@ -6,6 +6,7 @@ Examples::
     python -m repro simulate --hours 24 --rate 8 --no-time-shifting
     python -m repro simulate --hours 2 --json
     python -m repro sweep --runs 4 --workers 4 --ablate time-shifting
+    python -m repro lint --json
     python -m repro lifecycle
     python -m repro growth --years 5
 
@@ -28,17 +29,26 @@ import json
 import statistics
 import sys
 
-from .analysis import (fleet_utilization_series, peak_to_trough,
-                       quota_cpu_series, received_vs_executed,
-                       region_utilization_averages)
+from .analysis import (
+    fleet_utilization_series,
+    peak_to_trough,
+    quota_cpu_series,
+    received_vs_executed,
+    region_utilization_averages,
+)
 from .analysis.shapes import complementarity, pearson
 from .baselines import BASELINE_STEPS, baseline_model, xfaas_model
 from .cluster import MachineSpec, size_topology_for_utilization
 from .core import LocalityParams, PlatformParams, SchedulerParams, XFaaS
 from .metrics import format_table, series_block
 from .sim import Simulator
-from .workloads import (ArrivalGenerator, DiurnalRate, build_population,
-                        estimate_demand_minstr, figure3_model)
+from .workloads import (
+    ArrivalGenerator,
+    DiurnalRate,
+    build_population,
+    estimate_demand_minstr,
+    figure3_model,
+)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -99,20 +109,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     reserved, opportunistic = quota_cpu_series(platform, 0, horizon_s)
     if sum(opportunistic) > 0 and len(reserved) >= 4:
         k = max(1, len(reserved) // 48)
-        bucket = lambda xs: [sum(xs[i:i + k])
-                             for i in range(0, len(xs), k)]
+
+        def bucket(xs):
+            return [sum(xs[i:i + k]) for i in range(0, len(xs), k)]
         r_b, o_b = bucket(reserved), bucket(opportunistic)
-        print(f"reserved/opportunistic CPU correlation: "
+        print("reserved/opportunistic CPU correlation: "
               f"{pearson(r_b, o_b):.3f} "
               f"(complementarity {complementarity(r_b, o_b):.3f})")
     print(f"submitted {platform.submitted_count}, "
           f"completed {platform.completed_count()}, "
           f"still queued {platform.pending_backlog()}")
     if fleet:
-        print(f"fleet utilization: mean "
+        print("fleet utilization: mean "
               f"{statistics.mean(fleet):.3f}, "
               f"peak-to-trough {peak_to_trough(fleet, 0.02):.2f}x "
-              f"(paper: 66% mean, 1.4x)")
+              "(paper: 66% mean, 1.4x)")
     return 0
 
 
@@ -303,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the full sweep report as JSON")
     sweep_p.set_defaults(func=_cmd_sweep)
 
+    # NOTE: the `lint` subcommand is dispatched in main() before this
+    # parser runs (argparse.REMAINDER mis-parses leading options,
+    # bpo-17050); it is registered here only so --help lists it.
+    sub.add_parser("lint",
+                   help="determinism & sim-safety static analysis "
+                        "(SL001-SL006; see `python -m repro lint --help`)")
+
     life_p = sub.add_parser("lifecycle",
                             help="print the Figure 1 lifecycle cost table")
     life_p.add_argument("--execute-s", type=float, default=1.0)
@@ -316,6 +334,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # Self-contained, stdlib-only; owns its argument parsing.
+        from .simlint.cli import main as lint_main
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -3,8 +3,12 @@
 from .machine import CpuAccount, MachineSpec
 from .network import NetworkModel
 from .region import Region
-from .topology import (FIG5_RELATIVE_CAPACITY, Topology, build_topology,
-                       size_topology_for_utilization)
+from .topology import (
+    FIG5_RELATIVE_CAPACITY,
+    Topology,
+    build_topology,
+    size_topology_for_utilization,
+)
 
 __all__ = [
     "CpuAccount",

@@ -8,7 +8,7 @@ Conductor prefer *nearby* regions when shifting load.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Sequence
 
 
 class NetworkModel:

@@ -6,21 +6,33 @@ from .config import CachedConfig, ConfigStore
 from .congestion import CongestionController, CongestionParams
 from .durableq import DurableQ
 from .funcbuffer import FuncBuffer
-from .gtc import (GlobalTrafficConductor, GtcParams, TrafficMatrix,
-                  compute_traffic_matrix)
-from .isolation import (IsolationViolation, Namespace, NamespaceRegistry,
-                        check_flow, flow_allowed)
+from .gtc import (
+    GlobalTrafficConductor,
+    GtcParams,
+    TrafficMatrix,
+    compute_traffic_matrix,
+)
+from .isolation import (
+    IsolationViolation,
+    Namespace,
+    NamespaceRegistry,
+    check_flow,
+    flow_allowed,
+)
 from .jit import JitParams, RuntimeJit
 from .kvstore import DistributedKVStore, KVStoreParams
 from .locality import LocalityOptimizer, LocalityParams
 from .platform import PlatformParams, XFaaS
-from .queuelb import (QueueLB, ROUTING_KEY, capacity_proportional_routing,
-                      local_only_routing)
+from .queuelb import (
+    ROUTING_KEY,
+    QueueLB,
+    capacity_proportional_routing,
+    local_only_routing,
+)
 from .ratelimiter import CentralRateLimiter, ClientRateLimiter, TokenBucket
 from .rim import Rim
 from .runq import RunQ
-from .scheduler import (S_MULTIPLIER_KEY, TRAFFIC_MATRIX_KEY, Scheduler,
-                        SchedulerParams)
+from .scheduler import S_MULTIPLIER_KEY, TRAFFIC_MATRIX_KEY, Scheduler, SchedulerParams
 from .submitter import Submitter, SubmitterFrontend, SubmitterParams
 from .utilization import UtilizationController, UtilizationParams
 from .worker import Worker, WorkerParams

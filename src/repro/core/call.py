@@ -8,14 +8,31 @@ QueueLB → DurableQ → scheduler (FuncBuffer → RunQ) → WorkerLB → worker
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..util import add_slots
 from ..workloads.spec import FunctionSpec
 
-_call_ids = itertools.count(1)
+
+class CallIdAllocator:
+    """Deterministic per-owner source of call ids (1, 2, 3, ...).
+
+    Ids must depend only on the run that allocates them, never on how
+    many simulations the process ran before (simlint SL001 — the PR 2
+    ``core/platform.py`` bug), so the counter lives on the owning
+    object (platform, pool, test harness), not at module level.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def allocate(self) -> int:
+        n = self._next
+        self._next += 1
+        return n
 
 
 class CallState(enum.Enum):
@@ -55,7 +72,8 @@ class FunctionCall:
     #: Bell–LaPadula classification level of the call's arguments (§4.7).
     source_level: int = 0
     args_size_kb: float = 4.0
-    call_id: int = field(default_factory=lambda: next(_call_ids))
+    #: Assigned by the owner's :class:`CallIdAllocator`; 0 = unassigned.
+    call_id: int = 0
     state: CallState = CallState.SUBMITTED
     attempts: int = 0
 

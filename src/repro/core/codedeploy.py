@@ -17,8 +17,8 @@ Workers adopt a new bundle in three phases:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List
 
 from ..sim.kernel import Simulator
 from .jit import JitParams

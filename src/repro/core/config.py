@@ -14,7 +14,7 @@ to consumers ``propagation_delay_s`` later.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from ..sim.kernel import Simulator
 

@@ -12,7 +12,7 @@ available again — at-least-once semantics.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..sim.kernel import Simulator

@@ -16,11 +16,11 @@ at-least-once semantics re-runs them elsewhere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from ..cluster.machine import MachineSpec
 from ..sim.kernel import Simulator
-from .call import CallOutcome, FunctionCall
+from .call import FunctionCall
 from .worker import Worker, WorkerParams
 
 

@@ -11,7 +11,7 @@ so store occupancy tracks in-flight spilled calls.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..sim.kernel import Simulator
 

@@ -20,10 +20,9 @@ cached copy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from ..sim.kernel import Simulator
-from ..sim.rng import RngStream
 from ..workloads.spec import FunctionSpec
 from .config import ConfigStore
 from .worker import Worker

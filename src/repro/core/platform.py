@@ -19,7 +19,7 @@ dispatch, locality groups, cooperative JIT, AIMD back-pressure).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..cluster.topology import Topology
@@ -28,7 +28,7 @@ from ..metrics.recorder import MetricsRegistry
 from ..sim.kernel import Simulator
 from ..workloads.spec import FunctionSpec, QuotaType
 from ..workloads.trace import CallTrace, TraceLog
-from .call import CallOutcome, FunctionCall
+from .call import CallIdAllocator, CallOutcome, FunctionCall
 from .codedeploy import CodeDeployer, RolloutParams
 from .config import ConfigStore
 from .congestion import CongestionController, CongestionParams
@@ -38,8 +38,7 @@ from .isolation import NamespaceRegistry
 from .jit import JitParams
 from .kvstore import DistributedKVStore
 from .locality import LocalityOptimizer, LocalityParams
-from .queuelb import (QueueLB, ROUTING_KEY,
-                      capacity_proportional_routing)
+from .queuelb import ROUTING_KEY, QueueLB, capacity_proportional_routing
 from .ratelimiter import CentralRateLimiter, ClientRateLimiter
 from .rim import Rim
 from .scheduler import S_MULTIPLIER_KEY, Scheduler, SchedulerParams
@@ -95,7 +94,7 @@ class XFaaS:
         self.params = params
         self.metrics = MetricsRegistry()
         self.traces = TraceLog()
-        self._next_call_id = 0
+        self._call_id_allocator = CallIdAllocator()
         self.services = services or ServiceRegistry()
         self.namespaces = NamespaceRegistry()
         self.config = ConfigStore(sim, params.config_propagation_s)
@@ -282,17 +281,16 @@ class XFaaS:
             raise ValueError("start_delay_s must be >= 0")
         region = region or self._pick_client_region()
         now = self.sim.now
-        # call_id comes from the platform's own counter, not the
-        # module-global default: ids (and thus trace digests) must depend
-        # only on this run, never on how many simulations the process
-        # ran before — the sweep engine compares digests across workers.
-        self._next_call_id += 1
+        # call_id comes from the platform's own allocator: ids (and thus
+        # trace digests) must depend only on this run, never on how many
+        # simulations the process ran before (simlint SL001) — the sweep
+        # engine compares digests across workers.
         call = FunctionCall(spec=spec, submit_time=now,
                             start_time=now + start_delay_s,
                             region_submitted=region,
                             source_level=source_level,
                             args_size_kb=args_size_kb,
-                            call_id=self._next_call_id)
+                            call_id=self._call_id_allocator.allocate())
         self.metrics.counter("calls.received").add(now)
         self.submitted_count += 1
         accepted = self.frontends[region].submit(call)

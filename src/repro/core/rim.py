@@ -14,8 +14,7 @@ and 8.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..metrics.recorder import MetricsRegistry
 from ..sim.kernel import Simulator

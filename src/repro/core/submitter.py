@@ -12,7 +12,7 @@ operators (moving them is an explicit SLO change, §4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from ..sim.kernel import Simulator

@@ -1,8 +1,12 @@
 """Downstream service models: TAO/WTCache/KVStore, back-pressure, incidents."""
 
 from .incident import Incident, IncidentInjector
-from .service import (DownstreamService, ServiceCallResult, ServiceParams,
-                      ServiceRegistry)
+from .service import (
+    DownstreamService,
+    ServiceCallResult,
+    ServiceParams,
+    ServiceRegistry,
+)
 from .tao import build_tao_stack
 
 __all__ = [

@@ -11,8 +11,8 @@ an amplification factor, reproducing the WTCache→KVStore incident shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..sim.kernel import Simulator
 

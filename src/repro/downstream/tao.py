@@ -14,7 +14,6 @@ This module builds that topology:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
 from ..sim.kernel import Simulator

@@ -17,7 +17,7 @@ of the single-stream estimate on unimodal streams.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Any, Dict, List, Sequence
 
 
 class P2Quantile:
@@ -101,13 +101,13 @@ class P2Quantile:
         return self._heights[2]
 
     # -- snapshot / merge ------------------------------------------------
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         return {"kind": "p2quantile", "q": self.q, "count": self.count,
                 "initial": list(self._initial), "n": list(self._n),
                 "np": list(self._np), "heights": list(self._heights)}
 
     @classmethod
-    def from_snapshot(cls, snap: dict) -> "P2Quantile":
+    def from_snapshot(cls, snap: Dict[str, Any]) -> "P2Quantile":
         est = cls(snap["q"])
         est.count = snap["count"]
         est._initial = list(snap["initial"])
@@ -211,7 +211,7 @@ class P2Sketch:
     def mean(self) -> float:
         return self._mean.mean
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, Any]:
         """All tracked statistics, e.g. for benchmark JSON output."""
         if self.count == 0:
             raise ValueError("no samples")
@@ -222,14 +222,14 @@ class P2Sketch:
         return out
 
     # -- snapshot / merge ------------------------------------------------
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         return {"kind": "p2sketch", "quantiles": list(self.quantiles),
                 "estimators": [e.snapshot() for e in self._estimators],
                 "mean": self._mean.snapshot(),
                 "min": self.min, "max": self.max}
 
     @classmethod
-    def from_snapshot(cls, snap: dict) -> "P2Sketch":
+    def from_snapshot(cls, snap: Dict[str, Any]) -> "P2Sketch":
         sketch = cls(tuple(snap["quantiles"]))
         sketch._estimators = tuple(P2Quantile.from_snapshot(s)
                                    for s in snap["estimators"])
@@ -278,12 +278,12 @@ class StreamingMean:
         return self._m2 / (self.count - 1)
 
     # -- snapshot / merge ------------------------------------------------
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         return {"kind": "streamingmean", "count": self.count,
                 "mean": self._mean, "m2": self._m2}
 
     @classmethod
-    def from_snapshot(cls, snap: dict) -> "StreamingMean":
+    def from_snapshot(cls, snap: Dict[str, Any]) -> "StreamingMean":
         sm = cls()
         sm.count = snap["count"]
         sm._mean = snap["mean"]

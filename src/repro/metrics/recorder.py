@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .percentile import P2Sketch
 from .timeseries import Counter, Distribution, Gauge
@@ -23,7 +23,7 @@ class MetricsRegistry:
         self._sketches: Dict[str, P2Sketch] = {}
 
     # ------------------------------------------------------------------
-    def counter(self, name: str, window: float = None) -> Counter:
+    def counter(self, name: str, window: Optional[float] = None) -> Counter:
         if name not in self._counters:
             self._counters[name] = Counter(
                 name, window if window is not None else self.counter_window)
@@ -79,7 +79,7 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Snapshot / merge: ship a registry across a process boundary as a
     # plain dict and fold per-shard registries into fleet-level metrics.
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         return {
             "counter_window": self.counter_window,
             "counters": {n: c.snapshot()
@@ -93,7 +93,7 @@ class MetricsRegistry:
         }
 
     @classmethod
-    def from_snapshot(cls, snap: dict) -> "MetricsRegistry":
+    def from_snapshot(cls, snap: Dict[str, Any]) -> "MetricsRegistry":
         reg = cls(counter_window=snap.get("counter_window", 60.0))
         for name, s in snap.get("counters", {}).items():
             reg._counters[name] = Counter.from_snapshot(s)
@@ -114,10 +114,11 @@ class MetricsRegistry:
         """
         if isinstance(other, dict):
             other = MetricsRegistry.from_snapshot(other)
-        pairs = [(self._counters, other._counters, Counter),
-                 (self._gauges, other._gauges, Gauge),
-                 (self._distributions, other._distributions, Distribution),
-                 (self._sketches, other._sketches, P2Sketch)]
+        pairs: List[Tuple[Dict[str, Any], Dict[str, Any], Any]] = [
+            (self._counters, other._counters, Counter),
+            (self._gauges, other._gauges, Gauge),
+            (self._distributions, other._distributions, Distribution),
+            (self._sketches, other._sketches, P2Sketch)]
         for mine, theirs, kind in pairs:
             for name, metric in theirs.items():
                 if name in mine:

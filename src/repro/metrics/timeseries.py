@@ -23,7 +23,7 @@ from __future__ import annotations
 import bisect
 import math
 from array import array
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 class Counter:
@@ -93,14 +93,14 @@ class Counter:
         return [(t, v / self.window) for t, v in self.series(t_start, t_end)]
 
     # -- snapshot / merge ------------------------------------------------
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         """Picklable plain-dict state (see module docstring)."""
         return {"kind": "counter", "name": self.name, "window": self.window,
                 "total": self.total, "base": self._base,
                 "counts": list(self._counts)}
 
     @classmethod
-    def from_snapshot(cls, snap: dict) -> "Counter":
+    def from_snapshot(cls, snap: Dict[str, Any]) -> "Counter":
         counter = cls(snap["name"], snap["window"])
         counter.total = snap["total"]
         counter._base = snap["base"]
@@ -203,12 +203,12 @@ class Gauge:
         return max(vals)
 
     # -- snapshot / merge ------------------------------------------------
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         return {"kind": "gauge", "name": self.name,
                 "points": [list(p) for p in self._points]}
 
     @classmethod
-    def from_snapshot(cls, snap: dict) -> "Gauge":
+    def from_snapshot(cls, snap: Dict[str, Any]) -> "Gauge":
         gauge = cls(snap["name"])
         gauge._points = [(t, v) for t, v in snap["points"]]
         return gauge
@@ -310,12 +310,12 @@ class Distribution:
         return bisect.bisect_left(self._samples, threshold) / len(self._samples)
 
     # -- snapshot / merge ------------------------------------------------
-    def snapshot(self) -> dict:
+    def snapshot(self) -> Dict[str, Any]:
         return {"kind": "distribution", "name": self.name,
                 "samples": list(self._samples)}
 
     @classmethod
-    def from_snapshot(cls, snap: dict) -> "Distribution":
+    def from_snapshot(cls, snap: Dict[str, Any]) -> "Distribution":
         dist = cls(snap["name"])
         dist._samples = array("d", snap["samples"])
         dist._sorted = all(a <= b for a, b in

@@ -26,9 +26,15 @@ from .analysis import fleet_utilization_series
 from .cluster import MachineSpec, size_topology_for_utilization
 from .core import LocalityParams, SchedulerParams, UtilizationParams
 from .downstream import ServiceRegistry, build_tao_stack
-from .workloads import (ArrivalGenerator, DiurnalRate, TriggerType,
-                        attach_spike, build_population,
-                        estimate_demand_minstr, figure4_spike)
+from .workloads import (
+    ArrivalGenerator,
+    DiurnalRate,
+    TriggerType,
+    attach_spike,
+    build_population,
+    estimate_demand_minstr,
+    figure4_spike,
+)
 
 DAY_S = 86_400.0
 

@@ -12,7 +12,7 @@ simulator it runs on, which keeps tests hermetic.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
 
 from .events import EventQueue, ScheduledEvent, Signal
 from .rng import RngRegistry
@@ -87,7 +87,7 @@ class Simulator:
         task._schedule_at(max(first, self._now))
         return task
 
-    def timeout(self, delay: float, value=None) -> Signal:
+    def timeout(self, delay: float, value: Any = None) -> Signal:
         """A :class:`Signal` that fires ``delay`` seconds from now."""
         sig = Signal()
         self.call_after(delay, lambda: sig.fire(value))

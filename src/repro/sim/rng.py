@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, Sequence, TypeVar
+from typing import Any, Dict, List, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -70,10 +70,10 @@ class RngStream:
     def choice(self, seq: Sequence[T]) -> T:
         return self._rng.choice(seq)
 
-    def sample(self, seq: Sequence[T], k: int) -> list:
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
         return self._rng.sample(seq, k)
 
-    def shuffle(self, lst: list) -> None:
+    def shuffle(self, lst: List[Any]) -> None:
         self._rng.shuffle(lst)
 
     def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:

@@ -1,0 +1,94 @@
+"""Findings baselines: adopt a rule without blocking on legacy findings.
+
+A baseline is a JSON snapshot of accepted findings.  Linting with
+``--baseline`` mutes any finding that matches a baselined fingerprint,
+so a new (or newly error-severity) rule can land in CI immediately:
+existing violations are frozen in the committed baseline and every *new*
+violation still fails the build.  Shrinking the baseline is the ratchet.
+
+Fingerprints are ``(rule, module, stripped source line)`` — deliberately
+not line *numbers*, so unrelated edits above a finding do not invalidate
+the baseline.  Identical lines in one module are matched up to the
+baselined count.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from .engine import Finding
+
+_Fingerprint = Tuple[str, str, str]
+
+
+def _fingerprint(finding: Finding,
+                 source_line: str) -> _Fingerprint:
+    return (finding.rule_id, finding.module, source_line.strip())
+
+
+def _finding_line(finding: Finding) -> str:
+    try:
+        lines = Path(finding.path).read_text(encoding="utf-8").splitlines()
+        return lines[finding.line - 1]
+    except (OSError, IndexError):
+        return ""
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    def __init__(self, counts: Dict[_Fingerprint, int]) -> None:
+        self._counts = Counter(counts)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counts: Counter = Counter()
+        for f in findings:
+            counts[_fingerprint(f, _finding_line(f))] += 1
+        return cls(dict(counts))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        if doc.get("version") != 1:
+            raise ValueError(
+                f"unsupported baseline version {doc.get('version')!r} "
+                f"in {path}")
+        counts: Dict[_Fingerprint, int] = {}
+        for entry in doc.get("findings", []):
+            key = (entry["rule"], entry["module"], entry["text"])
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: Union[str, Path]) -> None:
+        entries = [{"rule": rule, "module": module, "text": text,
+                    "count": count}
+                   for (rule, module, text), count
+                   in sorted(self._counts.items())]
+        doc = {"version": 1, "findings": entries}
+        Path(path).write_text(json.dumps(doc, indent=1) + "\n",
+                              encoding="utf-8")
+
+    def filter(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Findings not covered by the baseline (order preserved)."""
+        budget = Counter(self._counts)
+        fresh: List[Finding] = []
+        for f in findings:
+            key = _fingerprint(f, _finding_line(f))
+            if budget[key] > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(f)
+        return fresh
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline_path: Union[str, Path]) -> List[Finding]:
+    """Load ``baseline_path`` and drop the findings it accepts."""
+    return Baseline.load(baseline_path).filter(findings)

@@ -1,0 +1,122 @@
+"""``python -m repro lint`` — the simlint command-line front end.
+
+Exit status is 0 when no error-severity findings remain after
+suppression comments and the optional baseline, 1 otherwise (2 for
+usage errors).  ``--json`` emits a stable machine-readable document for
+CI; ``--write-baseline`` snapshots the current findings so a new rule
+can be introduced without blocking merges on legacy violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .baseline import Baseline
+from .engine import Finding, Severity, lint_paths
+from .rules import ALL_RULES, rules_by_id
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package tree (works from any cwd)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & sim-safety static analysis (SL001-SL006)")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: the repro package tree)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON document")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="mute findings recorded in this baseline file")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="write current findings to FILE and exit 0")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    return parser
+
+
+def _select_rules(raw: Optional[str]):
+    if not raw:
+        return ALL_RULES
+    by_id = rules_by_id()
+    chosen = []
+    for rid in raw.split(","):
+        rid = rid.strip().upper()
+        if rid not in by_id:
+            raise SystemExit(
+                f"repro lint: unknown rule {rid!r} "
+                f"(have {', '.join(sorted(by_id))})")
+        chosen.append(by_id[rid])
+    return tuple(chosen)
+
+
+def _report_text(findings: Sequence[Finding], n_files_hint: str) -> None:
+    for finding in findings:
+        print(finding.format_text())
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    print(f"simlint: {errors} error(s), {warnings} warning(s) "
+          f"{n_files_hint}")
+
+
+def _report_json(findings: Sequence[Finding], baseline: Optional[str],
+                 n_files: int) -> None:
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    doc = {
+        "tool": "simlint",
+        "version": 1,
+        "files_checked": n_files,
+        "baseline": baseline,
+        "n_errors": errors,
+        "n_warnings": len(findings) - errors,
+        "findings": [f.to_json() for f in findings],
+    }
+    print(json.dumps(doc, indent=1))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = _select_rules(args.select)
+    paths: List[str] = list(args.paths) or [str(default_lint_root())]
+
+    try:
+        from .engine import iter_python_files
+        files = list(iter_python_files(paths))
+        findings = lint_paths(files, rules)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(args.write_baseline)
+        print(f"simlint: wrote {len(findings)} finding(s) to "
+              f"{args.write_baseline}")
+        return 0
+
+    if args.baseline:
+        try:
+            findings = Baseline.load(args.baseline).filter(findings)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro lint: cannot read baseline {args.baseline}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        _report_json(findings, args.baseline, len(files))
+    else:
+        _report_text(findings, f"in {len(files)} file(s)")
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

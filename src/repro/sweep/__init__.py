@@ -21,8 +21,12 @@ Per-run trace digests are bit-identical whatever ``workers`` is, so
 parallelism is a pure wall-clock optimization, never a behavior change.
 """
 
-from .aggregate import (aggregate_summaries, confidence_interval,
-                        merge_metrics, sweep_report)
+from .aggregate import (
+    aggregate_summaries,
+    confidence_interval,
+    merge_metrics,
+    sweep_report,
+)
 from .runner import execute_spec, run_sweep
 from .spec import ABLATIONS, RunResult, RunSpec, build_grid, seed_for_rep
 

@@ -14,7 +14,7 @@ Two complementary aggregations:
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..metrics import MetricsRegistry
 from .spec import RunResult
@@ -87,7 +87,7 @@ def aggregate_summaries(results: Sequence[RunResult]) -> Dict[str, dict]:
 
 
 def sweep_report(results: Sequence[RunResult],
-                 include_metrics: bool = False) -> dict:
+                 include_metrics: bool = False) -> Dict[str, Any]:
     """The JSON document the CLI and benches emit for a finished sweep."""
     aggregates = aggregate_summaries(results)
     merged_quantiles: Dict[str, dict] = {}

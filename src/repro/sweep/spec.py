@@ -73,9 +73,9 @@ class RunResult:
     trace_digest: str = ""
     summary: Dict[str, float] = field(default_factory=dict)
     #: ``MetricsRegistry.snapshot()`` of the run's platform metrics.
-    metrics: dict = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
-    def to_json(self, include_metrics: bool = False) -> dict:
+    def to_json(self, include_metrics: bool = False) -> Dict[str, Any]:
         out = {
             "index": self.index, "seed": self.seed, "label": self.label,
             "ok": self.ok, "wall_s": round(self.wall_s, 3),

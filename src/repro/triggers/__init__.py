@@ -7,8 +7,7 @@ each trigger source as a component that drives ``platform.submit``.
 """
 
 from .stream import DataStream, StreamEvent, StreamTriggerService
-from .timer import (DailySchedule, IntervalSchedule, Schedule,
-                    TimerTriggerService)
+from .timer import DailySchedule, IntervalSchedule, Schedule, TimerTriggerService
 from .warehouse import DataWarehouse, TableSpec, midnight_pipelines
 from .workflow import WorkflowEngine, WorkflowInstance, WorkflowSpec
 

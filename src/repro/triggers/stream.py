@@ -11,8 +11,8 @@ event (or per small batch) while tracking consumer lag.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
 
 from ..sim.kernel import Simulator
 

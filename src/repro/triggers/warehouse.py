@@ -10,8 +10,8 @@ proportional to the table's partition count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List
 
 from ..sim.kernel import Simulator
 

@@ -9,13 +9,10 @@ the real orchestration products layered on XFaaS.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.call import CallOutcome, FunctionCall
-
-_instance_ids = itertools.count(1)
+from ..core.call import CallIdAllocator, CallOutcome, FunctionCall
 
 
 @dataclass(frozen=True)
@@ -69,6 +66,9 @@ class WorkflowEngine:
         #: call_id → (instance, step index) for in-flight steps.
         self._inflight: Dict[int, tuple] = {}
         self.instances: List[WorkflowInstance] = []
+        # Per-engine ids: instance numbering restarts with each engine,
+        # keeping back-to-back runs replayable (simlint SL001).
+        self._instance_ids = CallIdAllocator()
         platform.add_completion_listener(self._on_completion)
 
     def register(self, spec: WorkflowSpec) -> None:
@@ -88,7 +88,7 @@ class WorkflowEngine:
         spec = self._workflows.get(workflow_name)
         if spec is None:
             raise KeyError(f"unknown workflow {workflow_name!r}")
-        instance = WorkflowInstance(instance_id=next(_instance_ids),
+        instance = WorkflowInstance(instance_id=self._instance_ids.allocate(),
                                     spec=spec,
                                     started_at=self.platform.sim.now,
                                     data_level=source_level)

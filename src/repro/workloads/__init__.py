@@ -1,22 +1,49 @@
 """Workload models: function specs, Table 1–3 shapes, arrival processes."""
 
-from .categories import (CALL_SHARE, COMPUTE_SHARE, FUNCTION_SHARE,
-                         PAPER_UNIQUE_FUNCTIONS, CategoryCounts,
-                         capacity_concentration, split_functions,
-                         team_weights)
+from .categories import (
+    CALL_SHARE,
+    COMPUTE_SHARE,
+    FUNCTION_SHARE,
+    PAPER_UNIQUE_FUNCTIONS,
+    CategoryCounts,
+    capacity_concentration,
+    split_functions,
+    team_weights,
+)
 from .distributions import TRIGGER_PROFILES, profile_for
 from .diurnal import ConstantRate, DiurnalRate
-from .examples import (WorkloadExample, all_examples, falco,
-                       morphing_framework, notification_system,
-                       productivity_bot, recommendation_system, table2_rows)
-from .generator import (ArrivalGenerator, FunctionLoad, Population,
-                        attach_spike, build_population,
-                        estimate_demand_minstr)
+from .examples import (
+    WorkloadExample,
+    all_examples,
+    falco,
+    morphing_framework,
+    notification_system,
+    productivity_bot,
+    recommendation_system,
+    table2_rows,
+)
+from .generator import (
+    ArrivalGenerator,
+    FunctionLoad,
+    Population,
+    attach_spike,
+    build_population,
+    estimate_demand_minstr,
+)
 from .growth import GrowthModel, LaunchEvent, figure3_model
 from .rare import build_rare_population, rare_share
-from .spec import (DAY_S, DEFAULT_PROFILE, Criticality, FunctionSpec,
-                   LogNormal, QuotaType, ResourceProfile, RetryPolicy,
-                   TriggerType, spread_spec)
+from .spec import (
+    DAY_S,
+    DEFAULT_PROFILE,
+    Criticality,
+    FunctionSpec,
+    LogNormal,
+    QuotaType,
+    ResourceProfile,
+    RetryPolicy,
+    TriggerType,
+    spread_spec,
+)
 from .spikes import Burst, SpikeTrain, figure4_spike
 from .trace import CallTrace, TraceLog
 

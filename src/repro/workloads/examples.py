@@ -22,8 +22,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from .spec import (Criticality, FunctionSpec, LogNormal, QuotaType,
-                   ResourceProfile, RetryPolicy, TriggerType)
+from .spec import (
+    Criticality,
+    FunctionSpec,
+    LogNormal,
+    QuotaType,
+    ResourceProfile,
+    RetryPolicy,
+    TriggerType,
+)
 
 
 @dataclass(frozen=True)
@@ -142,8 +149,12 @@ def table2_rows(samples_per_spec: int = 500, seed: int = 7) -> List[tuple]:
                 mem_vals.append(mem)
                 exec_vals.append(exec_s)
         cpu_vals.sort(), mem_vals.sort(), exec_vals.sort()
-        lo = lambda v: v[int(0.1 * len(v))]
-        hi = lambda v: v[int(0.9 * len(v))]
+
+        def lo(v):
+            return v[int(0.1 * len(v))]
+
+        def hi(v):
+            return v[int(0.9 * len(v))]
         rows.append((example.name,
                      lo(cpu_vals), hi(cpu_vals),
                      lo(mem_vals), hi(mem_vals),

@@ -10,17 +10,15 @@ Poisson process.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from ..sim.kernel import Simulator
 from ..sim.rng import RngStream
 from .categories import CALL_SHARE, split_functions
 from .distributions import profile_for
-from .diurnal import ConstantRate, DiurnalRate
-from .spec import (Criticality, FunctionSpec, QuotaType, RetryPolicy,
-                   TriggerType)
+from .diurnal import DiurnalRate
+from .spec import Criticality, FunctionSpec, QuotaType, RetryPolicy, TriggerType
 from .spikes import SpikeTrain
 
 DAY_S = 86_400.0

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..sim.rng import RngStream
 
@@ -97,7 +97,8 @@ class LogNormal:
         unclamped = math.exp(mu + s * s / 2.0)
         if math.isinf(self.hi) and self.lo <= 0:
             return unclamped
-        # E[min(X, h)] = e^{mu+s^2/2} Φ((ln h − mu − s²)/s) + h(1 − Φ((ln h − mu)/s))
+        # E[min(X, h)] = e^{mu+s^2/2} Φ((ln h − mu − s²)/s)
+        #                + h(1 − Φ((ln h − mu)/s))
         if math.isinf(self.hi):
             capped = unclamped
         else:

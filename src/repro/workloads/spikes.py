@@ -8,8 +8,8 @@ background rate punctuated by rectangular bursts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 DAY_S = 86_400.0
 

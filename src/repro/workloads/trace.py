@@ -11,7 +11,7 @@ import csv
 import hashlib
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Iterable, List, Optional
+from typing import List
 
 
 @dataclass(frozen=True)

@@ -5,11 +5,15 @@ import math
 import pytest
 
 from repro import FunctionSpec, PlatformParams, Simulator, XFaaS, build_topology
-from repro.analysis import (backpressure_series,
-                            distinct_functions_percentiles,
-                            fleet_utilization_series, quota_cpu_series,
-                            received_vs_executed, region_utilization_averages,
-                            worker_memory_series)
+from repro.analysis import (
+    backpressure_series,
+    distinct_functions_percentiles,
+    fleet_utilization_series,
+    quota_cpu_series,
+    received_vs_executed,
+    region_utilization_averages,
+    worker_memory_series,
+)
 from repro.workloads import LogNormal, QuotaType, ResourceProfile
 
 

@@ -3,13 +3,19 @@
 import math
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.analysis import (coefficient_of_variation, complementarity,
-                            normalize, peak_to_trough, pearson,
-                            smoothing_factor, table1_from_traces,
-                            table3_from_traces, time_to_reach)
+from repro.analysis import (
+    coefficient_of_variation,
+    complementarity,
+    normalize,
+    peak_to_trough,
+    pearson,
+    smoothing_factor,
+    table1_from_traces,
+    table3_from_traces,
+    time_to_reach,
+)
 from repro.workloads import CallTrace
 
 

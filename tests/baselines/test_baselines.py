@@ -4,9 +4,13 @@ import math
 
 import pytest
 
-from repro.baselines import (BASELINE_STEPS, ContainerPool,
-                             ContainerPoolParams, baseline_model,
-                             xfaas_model)
+from repro.baselines import (
+    BASELINE_STEPS,
+    ContainerPool,
+    ContainerPoolParams,
+    baseline_model,
+    xfaas_model,
+)
 from repro.sim import Simulator
 from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
 
@@ -143,3 +147,27 @@ class TestContainerPool:
         sim, pool, _ = self._pool()
         with pytest.raises(KeyError):
             pool.submit("ghost")
+
+    def test_back_to_back_runs_identical(self):
+        # Regression for the PR 2 class of bug (simlint SL001): ids used
+        # to come from a module-level counter, so a second run in the
+        # same process numbered containers differently from a fresh
+        # process.  Two identical runs must now match exactly.
+        def run():
+            sim, pool, results = self._pool(sim=Simulator(seed=7))
+            pool.register_function(FunctionSpec(name="f", profile=profile()))
+            pool.register_function(FunctionSpec(name="g", profile=profile()))
+            for _ in range(3):
+                pool.submit("f")
+                pool.submit("g")
+            sim.run_until(60.0)
+            ids = sorted(c.container_id
+                         for cs in pool._containers.values() for c in cs)
+            timings = [(f, r.started_at, r.finished_at, r.cold)
+                       for f, r in results]
+            return ids, timings
+
+        first, second = run(), run()
+        assert first == second
+        # Ids restart from 1 for every pool, never a process-wide stream.
+        assert first[0][0] == 1

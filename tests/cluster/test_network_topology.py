@@ -2,9 +2,14 @@
 
 import pytest
 
-from repro.cluster import (FIG5_RELATIVE_CAPACITY, MachineSpec, NetworkModel,
-                           Region, Topology, build_topology,
-                           size_topology_for_utilization)
+from repro.cluster import (
+    MachineSpec,
+    NetworkModel,
+    Region,
+    Topology,
+    build_topology,
+    size_topology_for_utilization,
+)
 
 
 class TestNetworkModel:

@@ -3,14 +3,18 @@
 import pytest
 
 from repro.core import FuncBuffer, FunctionCall, RunQ
-from repro.core.call import CallState
+from repro.core.call import CallIdAllocator, CallState
 from repro.workloads import Criticality, FunctionSpec
+
+
+_ids = CallIdAllocator()
 
 
 def make_call(name="f", submit=0.0, start=None, criticality=Criticality.NORMAL,
               deadline=60.0, **kwargs):
     spec = FunctionSpec(name=name, criticality=criticality,
                         deadline_s=deadline)
+    kwargs.setdefault("call_id", _ids.allocate())
     return FunctionCall(spec=spec, submit_time=submit,
                         start_time=start if start is not None else submit,
                         region_submitted="r0", **kwargs)

@@ -10,10 +10,15 @@ import math
 
 import pytest
 
-from repro import PlatformParams, Simulator, XFaaS, build_topology
+from repro import Simulator, XFaaS, build_topology
 from repro.cluster import MachineSpec
-from repro.workloads import (Criticality, FunctionSpec, LogNormal, QuotaType,
-                             ResourceProfile, RetryPolicy)
+from repro.workloads import (
+    FunctionSpec,
+    LogNormal,
+    QuotaType,
+    ResourceProfile,
+    RetryPolicy,
+)
 
 
 def profile(cpu=50.0, mem=64.0, exec_s=0.5, sigma=0.5):

@@ -5,10 +5,19 @@ import math
 import pytest
 
 from repro.cluster import MachineSpec, NetworkModel
-from repro.core import (ConfigStore, FunctionCall, GlobalTrafficConductor,
-                        GtcParams, Rim, S_MULTIPLIER_KEY,
-                        TRAFFIC_MATRIX_KEY, UtilizationController,
-                        UtilizationParams, Worker)
+from repro.core import (
+    S_MULTIPLIER_KEY,
+    TRAFFIC_MATRIX_KEY,
+    ConfigStore,
+    FunctionCall,
+    GlobalTrafficConductor,
+    GtcParams,
+    Rim,
+    UtilizationController,
+    UtilizationParams,
+    Worker,
+)
+from repro.core.call import CallIdAllocator
 from repro.metrics import MetricsRegistry
 from repro.sim import Simulator
 from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
@@ -33,10 +42,13 @@ def make_rig(n_workers=2, region="r0"):
     return sim, metrics, rim, workers
 
 
+_ids = CallIdAllocator()
+
+
 def busy_call(sim, name="f"):
     spec = FunctionSpec(name=name, profile=cpu_profile())
     return FunctionCall(spec=spec, submit_time=sim.now, start_time=sim.now,
-                        region_submitted="r0")
+                        region_submitted="r0", call_id=_ids.allocate())
 
 
 class TestRim:

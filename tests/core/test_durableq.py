@@ -3,16 +3,19 @@
 import pytest
 
 from repro.core import DurableQ, FunctionCall
-from repro.core.call import CallState
+from repro.core.call import CallIdAllocator
 from repro.sim import Simulator
 from repro.workloads import FunctionSpec
+
+
+_ids = CallIdAllocator()
 
 
 def make_call(sim, name="f", start_delay=0.0):
     spec = FunctionSpec(name=name)
     return FunctionCall(spec=spec, submit_time=sim.now,
                         start_time=sim.now + start_delay,
-                        region_submitted="r")
+                        region_submitted="r", call_id=_ids.allocate())
 
 
 class TestEnqueuePoll:

@@ -1,9 +1,9 @@
 """Property-based DurableQ tests: no call lost, no call duplicated."""
 
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.core import DurableQ, FunctionCall
+from repro.core.call import CallIdAllocator
 from repro.sim import Simulator
 from repro.workloads import FunctionSpec
 
@@ -25,6 +25,7 @@ class TestDurableQStateMachine:
     @settings(max_examples=80, deadline=None)
     def test_conservation_and_uniqueness(self, operations):
         sim = Simulator(seed=3)
+        ids = CallIdAllocator()
         q = DurableQ(sim, "q", "r", lease_timeout_s=1e9)
         enqueued = set()
         leased = {}
@@ -35,7 +36,7 @@ class TestDurableQStateMachine:
                 call = FunctionCall(
                     spec=FunctionSpec(name=f"fn{arg}"),
                     submit_time=sim.now, start_time=sim.now,
-                    region_submitted="r")
+                    region_submitted="r", call_id=ids.allocate())
                 q.enqueue(call)
                 enqueued.add(call.call_id)
             elif kind == "poll":
@@ -73,13 +74,15 @@ class TestDurableQStateMachine:
     def test_start_time_gating(self, delays):
         """A call is never offered before its execution start time."""
         sim = Simulator(seed=4)
+        ids = CallIdAllocator()
         q = DurableQ(sim, "q", "r")
         calls = []
         for d in delays:
             call = FunctionCall(spec=FunctionSpec(name="f"),
                                 submit_time=sim.now,
                                 start_time=sim.now + d,
-                                region_submitted="r")
+                                region_submitted="r",
+                                call_id=ids.allocate())
             q.enqueue(call)
             calls.append(call)
         for checkpoint in (0.0, 50.0, 100.0, 250.0):

@@ -4,12 +4,17 @@ import math
 
 import pytest
 
-from repro import PlatformParams, Simulator, XFaaS, build_topology
-from repro.cluster import MachineSpec
+from repro import Simulator, XFaaS, build_topology
 from repro.core import CallOutcome, FunctionCall
+from repro.core.call import CallIdAllocator
 from repro.core.elastic import ElasticPool, ElasticSchedule, ElasticWorker
-from repro.workloads import (Criticality, FunctionSpec, LogNormal, QuotaType,
-                             ResourceProfile)
+from repro.workloads import (
+    Criticality,
+    FunctionSpec,
+    LogNormal,
+    QuotaType,
+    ResourceProfile,
+)
 
 
 def profile(cpu=10.0, exec_s=1.0):
@@ -19,18 +24,21 @@ def profile(cpu=10.0, exec_s=1.0):
         exec_time_s=LogNormal(mu=math.log(exec_s), sigma=0.0))
 
 
+_ids = CallIdAllocator()
+
+
 def opportunistic_call(sim, name="opp"):
     spec = FunctionSpec(name=name, quota_type=QuotaType.OPPORTUNISTIC,
                         profile=profile())
     return FunctionCall(spec=spec, submit_time=sim.now, start_time=sim.now,
-                        region_submitted="r")
+                        region_submitted="r", call_id=_ids.allocate())
 
 
 def reserved_call(sim, name="res"):
     spec = FunctionSpec(name=name, criticality=Criticality.HIGH,
                         profile=profile())
     return FunctionCall(spec=spec, submit_time=sim.now, start_time=sim.now,
-                        region_submitted="r")
+                        region_submitted="r", call_id=_ids.allocate())
 
 
 class TestElasticWorker:

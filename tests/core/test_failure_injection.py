@@ -2,10 +2,8 @@
 
 import math
 
-import pytest
-
 from repro import PlatformParams, Simulator, XFaaS, build_topology
-from repro.core import (RolloutParams, SchedulerParams, TRAFFIC_MATRIX_KEY)
+from repro.core import TRAFFIC_MATRIX_KEY, RolloutParams, SchedulerParams
 from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
 
 

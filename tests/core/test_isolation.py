@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.core import (IsolationViolation, NamespaceRegistry, check_flow,
-                        flow_allowed)
+from repro.core import IsolationViolation, NamespaceRegistry, check_flow, flow_allowed
 from repro.workloads import FunctionSpec
 
 

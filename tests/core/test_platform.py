@@ -4,11 +4,9 @@ import math
 
 import pytest
 
-from repro import (PlatformParams, Simulator, XFaaS, build_topology)
-from repro.core import SchedulerParams
+from repro import PlatformParams, Simulator, XFaaS, build_topology
 from repro.downstream import ServiceRegistry, build_tao_stack
-from repro.workloads import (Criticality, FunctionSpec, LogNormal, QuotaType,
-                             ResourceProfile)
+from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
 
 
 def profile(cpu=10.0, mem=64.0, exec_s=0.3):

@@ -2,11 +2,11 @@
 
 import math
 
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.cluster import NetworkModel
 from repro.core import FuncBuffer, FunctionCall, RunQ, TokenBucket
+from repro.core.call import CallIdAllocator
 from repro.core.gtc import compute_traffic_matrix
 from repro.workloads import Criticality, FunctionSpec
 
@@ -14,11 +14,14 @@ criticalities = st.sampled_from(list(Criticality))
 deadlines = st.floats(min_value=1.0, max_value=86_400.0)
 
 
+_ids = CallIdAllocator()
+
+
 def _call(criticality, deadline):
     spec = FunctionSpec(name="f", criticality=criticality,
                         deadline_s=deadline)
     return FunctionCall(spec=spec, submit_time=0.0, start_time=0.0,
-                        region_submitted="r")
+                        region_submitted="r", call_id=_ids.allocate())
 
 
 class TestFuncBufferProperties:

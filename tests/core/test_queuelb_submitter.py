@@ -2,18 +2,33 @@
 
 import pytest
 
-from repro.core import (CallState, ClientRateLimiter, ConfigStore, DurableQ,
-                        FunctionCall, QueueLB, ROUTING_KEY, Submitter,
-                        SubmitterFrontend, SubmitterParams,
-                        capacity_proportional_routing, local_only_routing)
+from repro.core import (
+    ROUTING_KEY,
+    CallState,
+    ClientRateLimiter,
+    ConfigStore,
+    DurableQ,
+    FunctionCall,
+    QueueLB,
+    Submitter,
+    SubmitterFrontend,
+    SubmitterParams,
+    capacity_proportional_routing,
+    local_only_routing,
+)
+from repro.core.call import CallIdAllocator
 from repro.sim import Simulator
 from repro.workloads import FunctionSpec
+
+
+_ids = CallIdAllocator()
 
 
 def make_call(sim, name="f", team="team-a", args_kb=4.0):
     spec = FunctionSpec(name=name, team=team)
     return FunctionCall(spec=spec, submit_time=sim.now, start_time=sim.now,
-                        region_submitted="a", args_size_kb=args_kb)
+                        region_submitted="a", args_size_kb=args_kb,
+                        call_id=_ids.allocate())
 
 
 def build_queuelb(sim, regions=("a", "b")):

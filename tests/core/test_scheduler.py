@@ -2,18 +2,31 @@
 
 import math
 
-import pytest
-
 from repro.cluster import MachineSpec
-from repro.core import (CentralRateLimiter, CongestionController,
-                        ConfigStore, CongestionParams, DurableQ,
-                        FunctionCall, Scheduler, SchedulerParams,
-                        S_MULTIPLIER_KEY, TRAFFIC_MATRIX_KEY, Worker,
-                        WorkerLB)
-from repro.core.call import CallOutcome, CallState
+from repro.core import (
+    S_MULTIPLIER_KEY,
+    TRAFFIC_MATRIX_KEY,
+    CentralRateLimiter,
+    ConfigStore,
+    CongestionController,
+    CongestionParams,
+    DurableQ,
+    FunctionCall,
+    Scheduler,
+    SchedulerParams,
+    Worker,
+    WorkerLB,
+)
+from repro.core.call import CallIdAllocator, CallOutcome, CallState
 from repro.sim import Simulator
-from repro.workloads import (Criticality, FunctionSpec, LogNormal, QuotaType,
-                             ResourceProfile, RetryPolicy)
+from repro.workloads import (
+    Criticality,
+    FunctionSpec,
+    LogNormal,
+    QuotaType,
+    ResourceProfile,
+    RetryPolicy,
+)
 
 
 def profile(cpu=10.0, mem=64.0, exec_s=0.5):
@@ -29,6 +42,7 @@ class Harness:
     def __init__(self, seed=1, n_workers=2, threads=16, regions=("r0",),
                  sched_params=None, congestion_params=None):
         self.sim = Simulator(seed=seed)
+        self.ids = CallIdAllocator()
         self.config = ConfigStore(self.sim, propagation_delay_s=0.0)
         self.rate_limiter = CentralRateLimiter(initial_cost_minstr=10.0)
         self.congestion = CongestionController(
@@ -58,7 +72,8 @@ class Harness:
         call = FunctionCall(spec=spec, submit_time=self.sim.now,
                             start_time=self.sim.now + start_delay,
                             region_submitted=region,
-                            source_level=source_level)
+                            source_level=source_level,
+                            call_id=self.ids.allocate())
         self.dqs[region][0].enqueue(call)
         return call
 

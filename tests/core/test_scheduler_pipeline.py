@@ -13,14 +13,20 @@ These pin down behaviours found the hard way during calibration:
 
 import math
 
-import pytest
-
 from repro.cluster import MachineSpec
-from repro.core import (CentralRateLimiter, CongestionController,
-                        ConfigStore, CongestionParams, DurableQ,
-                        FunctionCall, Scheduler, SchedulerParams, Worker,
-                        WorkerLB)
-from repro.core.call import CallState
+from repro.core import (
+    CentralRateLimiter,
+    ConfigStore,
+    CongestionController,
+    CongestionParams,
+    DurableQ,
+    FunctionCall,
+    Scheduler,
+    SchedulerParams,
+    Worker,
+    WorkerLB,
+)
+from repro.core.call import CallIdAllocator, CallState
 from repro.sim import Simulator
 from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
 
@@ -36,6 +42,7 @@ class Rig:
     def __init__(self, seed=1, n_workers=1, cores=2, core_mips=500,
                  threads=48, poll_interval=2.0):
         self.sim = Simulator(seed=seed)
+        self.ids = CallIdAllocator()
         self.config = ConfigStore(self.sim, propagation_delay_s=0.0)
         self.rate_limiter = CentralRateLimiter(initial_cost_minstr=100.0)
         self.congestion = CongestionController(CongestionParams())
@@ -61,7 +68,8 @@ class Rig:
 
     def enqueue(self, spec):
         call = FunctionCall(spec=spec, submit_time=self.sim.now,
-                            start_time=self.sim.now, region_submitted="r0")
+                            start_time=self.sim.now, region_submitted="r0",
+                            call_id=self.ids.allocate())
         self.dqs["r0"][0].enqueue(call)
         return call
 
@@ -110,7 +118,8 @@ class TestPipeline:
                             profile=profile(cpu=10.0, exec_s=0.1))
         rig.register(spec)
         big = FunctionCall(spec=spec, submit_time=0.0, start_time=0.0,
-                           region_submitted="r0")
+                           region_submitted="r0",
+                           call_id=rig.ids.allocate())
         big.resources = (10.0, 10_000_000.0, 0.1)  # 10 TB: never fits
         rig.dqs["r0"][0].enqueue(big)
         small = [rig.enqueue(spec) for _ in range(30)]
@@ -127,7 +136,8 @@ class TestPipeline:
                             profile=profile(cpu=100.0, exec_s=0.05))
         rig.register(spec, cost=100.0)
         big = FunctionCall(spec=spec, submit_time=0.0, start_time=0.0,
-                           region_submitted="r0")
+                           region_submitted="r0",
+                           call_id=rig.ids.allocate())
         big.resources = (100.0, 10_000_000.0, 0.05)
         rig.dqs["r0"][0].enqueue(big)
         small = [rig.enqueue(spec) for _ in range(100)]

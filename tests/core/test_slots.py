@@ -8,7 +8,7 @@ of times per simulated hour.  These tests pin the memory layout.
 
 import pytest
 
-from repro.core.call import CallState, FunctionCall
+from repro.core.call import CallIdAllocator, CallState, FunctionCall
 from repro.core.worker import _RunningCall
 from repro.metrics.timeseries import Counter, Distribution, Gauge
 from repro.sim.events import ScheduledEvent, Signal
@@ -16,10 +16,13 @@ from repro.util import add_slots
 from repro.workloads.spec import FunctionSpec
 
 
+_ids = CallIdAllocator()
+
+
 def _make_call() -> FunctionCall:
     spec = FunctionSpec(name="f", team="t")
     return FunctionCall(spec=spec, submit_time=0.0, start_time=0.0,
-                        region_submitted="r0")
+                        region_submitted="r0", call_id=_ids.allocate())
 
 
 def _assert_slotted(obj) -> None:

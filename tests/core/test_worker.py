@@ -6,6 +6,7 @@ import pytest
 
 from repro.cluster import MachineSpec
 from repro.core import CallOutcome, FunctionCall, Worker, WorkerParams
+from repro.core.call import CallIdAllocator
 from repro.sim import Simulator
 from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
 
@@ -17,13 +18,17 @@ def fixed_profile(cpu=100.0, mem=64.0, exec_s=1.0):
         exec_time_s=LogNormal(mu=math.log(exec_s), sigma=0.0))
 
 
+_ids = CallIdAllocator()
+
+
 def make_call(sim, name="f", cpu=100.0, mem=64.0, exec_s=1.0,
               source_level=0, isolation_level=0, code_mb=5.0):
     spec = FunctionSpec(name=name, profile=fixed_profile(cpu, mem, exec_s),
                         isolation_level=isolation_level,
                         code_size_mb=code_mb)
     return FunctionCall(spec=spec, submit_time=sim.now, start_time=sim.now,
-                        region_submitted="r", source_level=source_level)
+                        region_submitted="r", source_level=source_level,
+                        call_id=_ids.allocate())
 
 
 def make_worker(sim, cores=4, core_mips=1000.0, threads=8,

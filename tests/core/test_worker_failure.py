@@ -4,12 +4,17 @@ import math
 
 import pytest
 
-from repro import PlatformParams, Simulator, XFaaS, build_topology
+from repro import Simulator, XFaaS, build_topology
 from repro.cluster import MachineSpec
-from repro.core import CallOutcome, TRAFFIC_MATRIX_KEY, Worker
-from repro.core.call import CallState, FunctionCall
-from repro.workloads import (Criticality, FunctionSpec, LogNormal,
-                             ResourceProfile, RetryPolicy)
+from repro.core import TRAFFIC_MATRIX_KEY, CallOutcome, Worker
+from repro.core.call import CallIdAllocator, CallState, FunctionCall
+from repro.workloads import (
+    Criticality,
+    FunctionSpec,
+    LogNormal,
+    ResourceProfile,
+    RetryPolicy,
+)
 
 
 def profile(cpu=50.0, exec_s=0.5):
@@ -17,6 +22,9 @@ def profile(cpu=50.0, exec_s=0.5):
         cpu_minstr=LogNormal(mu=math.log(cpu), sigma=0.2),
         memory_mb=LogNormal(mu=math.log(32.0), sigma=0.2),
         exec_time_s=LogNormal(mu=math.log(exec_s), sigma=0.2))
+
+
+_ids = CallIdAllocator()
 
 
 class TestWorkerFail:
@@ -27,7 +35,7 @@ class TestWorkerFail:
                         on_finish=lambda c, o: outcomes.append(o))
         spec = FunctionSpec(name="f", profile=profile(exec_s=100.0))
         call = FunctionCall(spec=spec, submit_time=0.0, start_time=0.0,
-                            region_submitted="r")
+                            region_submitted="r", call_id=_ids.allocate())
         assert worker.execute(call)
         worker.fail()
         assert outcomes == [CallOutcome.WORKER_FULL]
@@ -40,7 +48,7 @@ class TestWorkerFail:
         worker.fail()
         call = FunctionCall(spec=FunctionSpec(name="f", profile=profile()),
                             submit_time=0.0, start_time=0.0,
-                            region_submitted="r")
+                            region_submitted="r", call_id=_ids.allocate())
         assert not worker.execute(call)
 
     def test_recover_restarts_jit_cold(self):

@@ -5,8 +5,15 @@ import math
 import pytest
 
 from repro.cluster import MachineSpec
-from repro.core import (ConfigStore, FunctionCall, LocalityOptimizer,
-                        LocalityParams, Worker, WorkerLB)
+from repro.core import (
+    ConfigStore,
+    FunctionCall,
+    LocalityOptimizer,
+    LocalityParams,
+    Worker,
+    WorkerLB,
+)
+from repro.core.call import CallIdAllocator
 from repro.sim import Simulator
 from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
 
@@ -18,10 +25,13 @@ def profile(mem=64.0):
         exec_time_s=LogNormal(mu=0.0, sigma=0.0))
 
 
+_ids = CallIdAllocator()
+
+
 def make_call(sim, name="f", mem=64.0, ephemeral=False):
     spec = FunctionSpec(name=name, profile=profile(mem), ephemeral=ephemeral)
     return FunctionCall(spec=spec, submit_time=sim.now, start_time=sim.now,
-                        region_submitted="r")
+                        region_submitted="r", call_id=_ids.allocate())
 
 
 def make_workers(sim, n, threads=4):

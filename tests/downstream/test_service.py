@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.downstream import (DownstreamService, Incident, IncidentInjector,
-                              ServiceParams, ServiceRegistry, build_tao_stack)
+from repro.downstream import (
+    DownstreamService,
+    Incident,
+    IncidentInjector,
+    ServiceParams,
+    ServiceRegistry,
+    build_tao_stack,
+)
 from repro.sim import Simulator
 
 

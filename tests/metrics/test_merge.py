@@ -17,8 +17,15 @@ import random
 
 import pytest
 
-from repro.metrics import (Counter, Distribution, Gauge, MetricsRegistry,
-                           P2Quantile, P2Sketch, StreamingMean)
+from repro.metrics import (
+    Counter,
+    Distribution,
+    Gauge,
+    MetricsRegistry,
+    P2Quantile,
+    P2Sketch,
+    StreamingMean,
+)
 
 
 def lognormal_stream(n, seed=11):

@@ -1,10 +1,8 @@
 """Tests for Counter, Gauge, Distribution."""
 
-import math
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.metrics import Counter, Distribution, Gauge
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Process, Signal, Simulator, spawn
+from repro.sim import Signal, Simulator, spawn
 
 
 class TestBasicProcesses:

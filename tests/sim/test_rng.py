@@ -1,8 +1,7 @@
 """Tests for named RNG streams, including property-based checks."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.sim import RngRegistry, RngStream
 

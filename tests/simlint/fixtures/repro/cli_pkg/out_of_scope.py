@@ -1,0 +1,10 @@
+"""Fixture: sim-scoped rules don't fire outside sim-facing packages."""
+
+import itertools
+import time
+
+_request_ids = itertools.count(1)
+
+
+def wall_stamp():
+    return time.time()

@@ -1,0 +1,13 @@
+"""Fixture: module-level mutable id state (SL001 true positives)."""
+
+import itertools
+
+_call_ids = itertools.count(1)
+
+_instance_registry = {}
+
+_seen_ids = []
+
+
+class Tracker:
+    _serials = itertools.count()

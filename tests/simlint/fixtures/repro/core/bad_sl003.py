@@ -1,0 +1,14 @@
+"""Fixture: iteration over unordered containers (SL003 true positives)."""
+
+
+def drain(pending):
+    for worker in set(pending):
+        worker.kick()
+
+
+def snapshot(names):
+    return [n.upper() for n in {"a", "b", "c"}] + sorted(names)
+
+
+def pairs(items):
+    return {k: 1 for k in frozenset(items)}

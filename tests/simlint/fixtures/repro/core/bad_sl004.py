@@ -1,0 +1,18 @@
+"""Fixture: float accumulation of simulated time (SL004 true positives)."""
+
+
+class Ticker:
+    def __init__(self):
+        self.now = 0.0
+        self.idle_time = 0.0
+
+    def advance(self, dt):
+        self.now += dt
+
+    def account(self, dt):
+        self.idle_time += dt
+
+
+def drift(finish_time, dt):
+    finish_time -= dt
+    return finish_time

@@ -1,0 +1,13 @@
+"""Fixture: event-handle misuse (SL006 true positives)."""
+
+
+def schedule(sim, fn):
+    sim.call_after(-1.0, fn)
+    sim.call_at(-0.5, fn)
+
+
+def rearm(handle):
+    #: Re-arming a cancelled handle corrupts the event queue; schedule
+    #: a fresh event instead.
+    handle.cancelled = False
+    return handle

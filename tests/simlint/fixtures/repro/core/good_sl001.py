@@ -1,0 +1,19 @@
+"""Fixture: per-instance allocators and non-counter state (SL001 negatives)."""
+
+import itertools
+
+#: A constant is fine; only mutable containers / live counters are state.
+MAX_IDS = 100
+
+#: Public mutable module state with a non-counter name is out of scope.
+defaults = {"region": "r0"}
+
+
+class Allocator:
+    def __init__(self):
+        self._next = itertools.count(1)
+        self._ids = []
+
+    def fresh(self):
+        local_ids = []
+        return local_ids

@@ -1,0 +1,16 @@
+"""Fixture: ordered iteration (SL003 negatives)."""
+
+
+def drain(pending):
+    for worker in sorted(set(pending), key=lambda w: w.name):
+        worker.kick()
+
+
+def snapshot(names):
+    for n in list(names):
+        yield n.upper()
+
+
+def member(items, x):
+    #: Membership tests on sets are fine — only *iteration* is ordered.
+    return x in set(items)

@@ -1,0 +1,15 @@
+"""Fixture: absolute-time arithmetic and non-time accumulators (SL004 negs)."""
+
+
+class Ticker:
+    def __init__(self, sim):
+        self.sim = sim
+        self.events = 0
+
+    def advance(self, dt):
+        #: Recompute from an absolute base instead of accumulating.
+        deadline = self.sim.now + dt
+        return deadline
+
+    def count(self):
+        self.events += 1

@@ -1,0 +1,15 @@
+"""Fixture: correct handle usage (SL006 negatives)."""
+
+
+class Handle:
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+
+
+def schedule(sim, fn, delay):
+    if delay >= 0:
+        return sim.call_after(delay, fn)
+    return sim.call_after(0.0, fn)

@@ -1,0 +1,7 @@
+"""Fixture: SL001 hazards silenced by suppression comments."""
+
+import itertools
+
+_call_ids = itertools.count(1)  # simlint: disable=SL001 -- legacy shim
+
+_seen_ids = []  # simlint: disable=SL001

@@ -1,0 +1,9 @@
+"""Fixture: SL004 silenced per line (integer-nanosecond accumulator)."""
+
+
+class NsTicker:
+    def __init__(self):
+        self.busy_time = 0
+
+    def account(self, dt_ns):
+        self.busy_time += dt_ns  # simlint: disable=SL004 -- integer ns

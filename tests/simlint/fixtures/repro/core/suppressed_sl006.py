@@ -1,0 +1,6 @@
+"""Fixture: SL006 silenced per line (kernel-internal handle pooling)."""
+
+
+def recycle(handle):
+    handle.cancelled = False  # simlint: disable=SL006 -- pooled reset
+    return handle

@@ -1,0 +1,24 @@
+"""Fixture: wall-clock and entropy leaks (SL002 true positives)."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+from time import monotonic
+
+
+def stamp():
+    return time.time()
+
+
+def tick():
+    return monotonic()
+
+
+def label():
+    return f"{datetime.now()}-{uuid.uuid4()}"
+
+
+def jitter():
+    return random.random() * len(os.urandom(4))

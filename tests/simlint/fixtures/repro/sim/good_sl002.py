@@ -1,0 +1,17 @@
+"""Fixture: clock/randomness through the kernel (SL002 negatives)."""
+
+import random
+
+
+def stamp(sim):
+    return sim.now
+
+
+def jitter(rng):
+    return rng.uniform(0.0, 1.0)
+
+
+def make_stream(seed):
+    #: Seeded Random instances are replayable; only the module-level
+    #: functions (shared global state) and SystemRandom are banned.
+    return random.Random(seed)

@@ -1,0 +1,12 @@
+# simlint: disable-file=SL002 -- wall-clock benchmarking harness
+"""Fixture: file-wide suppression of SL002."""
+
+import time
+
+
+def wall_elapsed(t0):
+    return time.time() - t0
+
+
+def wall_now():
+    return time.perf_counter()

@@ -1,0 +1,15 @@
+"""Fixture: pickle-unsafe payloads in sweep-reachable code (SL005 TPs)."""
+
+
+def make_task(rate):
+    class Task:
+        def run(self):
+            return rate
+    return Task()
+
+
+class SweepPoint:
+    transform = lambda x: x * 2  # noqa: E731
+
+    def __init__(self, scale):
+        self.scale_fn = lambda v: v * scale

@@ -1,0 +1,20 @@
+"""Fixture: picklable module-level classes and functions (SL005 negatives)."""
+
+
+class Task:
+    def __init__(self, rate):
+        self.rate = rate
+
+    def run(self):
+        return self.rate
+
+
+def double(x):
+    return x * 2
+
+
+def apply_all(items):
+    #: Local lambdas that never land on an instance are consumed in
+    #: process and never cross a pickle boundary.
+    key = lambda v: v.rate  # noqa: E731
+    return sorted(items, key=key)

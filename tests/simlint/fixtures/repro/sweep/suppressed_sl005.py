@@ -1,0 +1,6 @@
+"""Fixture: SL005 silenced per line (never crosses a process boundary)."""
+
+
+class LocalOnly:
+    def __init__(self):
+        self.fmt = lambda v: f"{v:.3f}"  # simlint: disable=SL005 -- local

@@ -1,0 +1,110 @@
+"""CLI and baseline tests, plus the dogfood gate: the real tree at HEAD
+must lint clean."""
+
+import json
+from pathlib import Path
+
+import repro.cli
+from repro.simlint import ALL_RULES, Baseline, Severity, lint_paths
+from repro.simlint.cli import default_lint_root, main as lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "repro"
+
+
+class TestExitCodes:
+    def test_fixture_tree_fails(self):
+        assert lint_main([str(FIXTURES)]) == 1
+
+    def test_clean_file_passes(self, capsys):
+        assert lint_main([str(FIXTURES / "core" / "good_sl001.py")]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_warnings_alone_do_not_gate(self):
+        # SL003/SL004 are warnings: they print but exit 0.
+        rc = lint_main([str(FIXTURES / "core" / "bad_sl003.py"),
+                        "--select", "SL003"])
+        assert rc == 0
+
+    def test_missing_path_is_usage_error(self):
+        assert lint_main(["does/not/exist.py"]) == 2
+
+    def test_unknown_rule_is_usage_error(self):
+        try:
+            lint_main([str(FIXTURES), "--select", "SL999"])
+        except SystemExit as exc:
+            assert "SL999" in str(exc)
+        else:
+            raise AssertionError("expected SystemExit")
+
+
+class TestJsonOutput:
+    def test_document_shape(self, capsys):
+        lint_main([str(FIXTURES), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "simlint"
+        assert doc["version"] == 1
+        assert doc["files_checked"] > 10
+        assert doc["n_errors"] > 0
+        sample = doc["findings"][0]
+        assert set(sample) == {"rule", "severity", "path", "module",
+                               "line", "col", "message", "fix_hint"}
+
+
+class TestDispatch:
+    def test_repro_cli_routes_lint_with_flags(self, capsys):
+        # Regression: argparse REMAINDER mangles a leading --json
+        # (bpo-17050), so repro.cli dispatches 'lint' before parsing.
+        rc = repro.cli.main(
+            ["lint", "--json", str(FIXTURES / "core" / "good_sl001.py")])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["n_errors"] == 0
+
+
+class TestBaseline:
+    def test_baseline_roundtrip_mutes_everything(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        lint_main([str(FIXTURES), "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        rc = lint_main([str(FIXTURES), "--baseline", str(baseline),
+                        "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["n_errors"] == 0 and doc["n_warnings"] == 0
+        assert doc["baseline"] == str(baseline)
+
+    def test_new_finding_escapes_baseline(self, tmp_path):
+        findings = lint_paths([FIXTURES / "core" / "bad_sl001.py"],
+                              ALL_RULES)
+        base = Baseline.from_findings(findings[:-1])
+        fresh = base.filter(findings)
+        assert fresh == [findings[-1]]
+
+    def test_fingerprints_survive_line_renumbering(self, tmp_path):
+        # Baselines key on (rule, module, stripped text), not line
+        # numbers: inserting lines above must not invalidate them.
+        src = FIXTURES / "core" / "bad_sl001.py"
+        moved = tmp_path / "repro" / "core"
+        moved.mkdir(parents=True)
+        target = moved / "bad_sl001.py"
+        target.write_text("# pad\n# pad\n" + src.read_text(),
+                          encoding="utf-8")
+        base = Baseline.from_findings(lint_paths([src], ALL_RULES))
+        assert base.filter(lint_paths([target], ALL_RULES)) == []
+
+    def test_corrupt_baseline_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 99}', encoding="utf-8")
+        assert lint_main([str(FIXTURES), "--baseline", str(bad)]) == 2
+
+
+class TestDogfood:
+    def test_real_tree_has_zero_error_findings(self):
+        """ISSUE acceptance: `python -m repro lint` on src/repro at HEAD
+        exits 0 — the codebase satisfies its own determinism contract."""
+        findings = lint_paths([default_lint_root()], ALL_RULES)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        assert errors == [], "\n".join(f.format_text() for f in errors)
+
+    def test_default_root_is_the_repro_package(self):
+        assert default_lint_root().name == "repro"
+        assert (default_lint_root() / "simlint").is_dir()

@@ -1,0 +1,86 @@
+"""Engine-level tests: module mapping, name resolution, suppression
+parsing, and syntax-error handling."""
+
+from repro.simlint import ALL_RULES, LintContext, Severity, lint_source
+from repro.simlint.engine import _module_for_path, _package_of
+
+
+class TestModuleMapping:
+    def test_src_layout(self):
+        assert _module_for_path("src/repro/core/call.py") == \
+            "repro.core.call"
+
+    def test_fixture_tree_uses_last_repro_segment(self):
+        path = "tests/simlint/fixtures/repro/core/bad_sl001.py"
+        assert _module_for_path(path) == "repro.core.bad_sl001"
+
+    def test_init_maps_to_package(self):
+        assert _module_for_path("src/repro/sim/__init__.py") == "repro.sim"
+
+    def test_outside_repro_gets_stem(self):
+        assert _module_for_path("scripts/tool.py") == "tool"
+
+    def test_package_of(self):
+        assert _package_of("repro.core.call") == "core"
+        assert _package_of("repro.cli") == ""
+        assert _package_of("tool") is None
+
+
+class TestResolution:
+    def test_plain_import(self):
+        ctx = LintContext("import time\ntime.time()\n", "repro/sim/x.py")
+        call = ctx.tree.body[1].value
+        assert ctx.resolve(call.func) == ("time.time", True)
+
+    def test_aliased_from_import(self):
+        ctx = LintContext("from time import time as wall\nwall()\n",
+                          "repro/sim/x.py")
+        call = ctx.tree.body[1].value
+        assert ctx.resolve(call.func) == ("time.time", True)
+
+    def test_shadowed_name_is_unknown(self):
+        ctx = LintContext("def f(time):\n    return time.time()\n",
+                          "repro/sim/x.py")
+        # No import: the root is a local and rules must not flag it.
+        call = ctx.tree.body[0].body[0].value
+        assert ctx.resolve(call.func) == ("time.time", False)
+        assert lint_source("def f(time):\n    return time.time()\n",
+                           "repro/sim/x.py", ALL_RULES) == []
+
+
+class TestSuppressionParsing:
+    def test_line_suppression_with_justification(self):
+        ctx = LintContext("x = 1  # simlint: disable=SL001 -- why\n",
+                          "repro/core/x.py")
+        assert ctx.is_suppressed("SL001", 1)
+        assert not ctx.is_suppressed("SL002", 1)
+        assert not ctx.is_suppressed("SL001", 2)
+
+    def test_multiple_ids_on_one_line(self):
+        ctx = LintContext("x = 1  # simlint: disable=SL001, sl003\n",
+                          "repro/core/x.py")
+        assert ctx.is_suppressed("SL001", 1)
+        assert ctx.is_suppressed("SL003", 1)
+
+    def test_file_suppression_covers_every_line(self):
+        ctx = LintContext("# simlint: disable-file=SL002\nx = 1\ny = 2\n",
+                          "repro/core/x.py")
+        assert ctx.is_suppressed("SL002", 3)
+        assert not ctx.is_suppressed("SL001", 3)
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_is_one_error_finding(self):
+        found = lint_source("def broken(:\n", "repro/core/x.py", ALL_RULES)
+        assert len(found) == 1
+        assert found[0].rule_id == "SL000"
+        assert found[0].severity is Severity.ERROR
+
+
+class TestOrdering:
+    def test_findings_sorted_by_location(self):
+        src = ("import itertools\n"
+               "_b_ids = itertools.count()\n"
+               "_a_ids = itertools.count()\n")
+        found = lint_source(src, "repro/core/x.py", ALL_RULES)
+        assert [f.line for f in found] == [2, 3]

@@ -9,9 +9,19 @@ whether the sweep runs serially in-process or across spawn workers.
 import pytest
 
 from repro.sim import derive_seed
-from repro.sweep import (ABLATIONS, RunResult, RunSpec, aggregate_summaries,
-                         build_grid, confidence_interval, execute_spec,
-                         merge_metrics, run_sweep, seed_for_rep, sweep_report)
+from repro.sweep import (
+    ABLATIONS,
+    RunResult,
+    RunSpec,
+    aggregate_summaries,
+    build_grid,
+    confidence_interval,
+    execute_spec,
+    merge_metrics,
+    run_sweep,
+    seed_for_rep,
+    sweep_report,
+)
 
 # Small enough to keep the multiprocess test quick, big enough to
 # exercise the full platform (spike may or may not attach at this size).

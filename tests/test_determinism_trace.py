@@ -10,23 +10,24 @@ must diverge.
 """
 
 import hashlib
-import itertools
 
 from repro import PlatformParams, Simulator, XFaaS
-from repro.core import call as call_module
 from repro.cluster import MachineSpec, size_topology_for_utilization
 from repro.core import LocalityParams, SchedulerParams
-from repro.workloads import (ArrivalGenerator, ConstantRate,
-                             build_population, estimate_demand_minstr)
+from repro.workloads import (
+    ArrivalGenerator,
+    ConstantRate,
+    build_population,
+    estimate_demand_minstr,
+)
 
 HORIZON_S = 420.0
 
 
 def _run_mini_dayrun(seed: int):
-    # Call ids come from a process-global counter; reset it so two runs
-    # inside one test process see identical ids (separate processes —
-    # the normal benchmark situation — are identical without this).
-    call_module._call_ids = itertools.count(1)
+    # Call ids come from the platform's own CallIdAllocator, so two
+    # back-to-back runs in one process see identical ids with no reset
+    # step — the property simlint rule SL001 enforces statically.
     sim = Simulator(seed=seed)
     population = build_population(n_functions=24, total_rate=6.0,
                                   opportunistic_fraction=0.5)

@@ -13,8 +13,12 @@ import pytest
 from repro import PlatformParams, Simulator, XFaaS
 from repro.cluster import MachineSpec, size_topology_for_utilization
 from repro.core import LocalityParams, SchedulerParams
-from repro.workloads import (ArrivalGenerator, ConstantRate,
-                             build_population, estimate_demand_minstr)
+from repro.workloads import (
+    ArrivalGenerator,
+    ConstantRate,
+    build_population,
+    estimate_demand_minstr,
+)
 
 HORIZON_S = 1800.0
 

@@ -4,11 +4,19 @@ import math
 
 import pytest
 
-from repro import PlatformParams, Simulator, XFaaS, build_topology
-from repro.triggers import (DailySchedule, DataStream, DataWarehouse,
-                            IntervalSchedule, StreamTriggerService,
-                            TableSpec, TimerTriggerService, WorkflowEngine,
-                            WorkflowSpec, midnight_pipelines)
+from repro import Simulator, XFaaS, build_topology
+from repro.triggers import (
+    DailySchedule,
+    DataStream,
+    DataWarehouse,
+    IntervalSchedule,
+    StreamTriggerService,
+    TableSpec,
+    TimerTriggerService,
+    WorkflowEngine,
+    WorkflowSpec,
+    midnight_pipelines,
+)
 from repro.workloads import FunctionSpec, LogNormal, ResourceProfile
 
 DAY = 86_400.0
@@ -223,6 +231,26 @@ class TestWorkflowEngine:
         engine = WorkflowEngine(platform)
         with pytest.raises(KeyError):
             engine.start("ghost")
+
+    def test_back_to_back_runs_identical(self):
+        # Regression for the PR 2 class of bug (simlint SL001):
+        # instance ids used to come from a module-level counter, so a
+        # second engine in the same process numbered instances
+        # differently from a fresh process.
+        def run():
+            sim, platform = self._platform(seed=15)
+            engine = WorkflowEngine(platform)
+            engine.register(WorkflowSpec(name="etl",
+                                         steps=("extract", "load")))
+            for _ in range(4):
+                engine.start("etl")
+            sim.run_until(300.0)
+            return [(i.instance_id, i.status, i.started_at, i.finished_at)
+                    for i in engine.instances]
+
+        first, second = run(), run()
+        assert first == second
+        assert [i for i, _, _, _ in first] == [1, 2, 3, 4]
 
 
 class TestZonePropagation:

@@ -1,12 +1,17 @@
 """Tests for Table 1 category shares and §6 team skew."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.workloads import (CALL_SHARE, COMPUTE_SHARE, FUNCTION_SHARE,
-                             TriggerType, capacity_concentration,
-                             split_functions, team_weights)
+from repro.workloads import (
+    CALL_SHARE,
+    COMPUTE_SHARE,
+    FUNCTION_SHARE,
+    TriggerType,
+    capacity_concentration,
+    split_functions,
+    team_weights,
+)
 
 
 class TestShares:

@@ -3,9 +3,16 @@
 import pytest
 
 from repro.sim import Simulator
-from repro.workloads import (ArrivalGenerator, ConstantRate, QuotaType,
-                             TriggerType, attach_spike, build_population,
-                             estimate_demand_minstr, figure4_spike)
+from repro.workloads import (
+    ArrivalGenerator,
+    ConstantRate,
+    QuotaType,
+    TriggerType,
+    attach_spike,
+    build_population,
+    estimate_demand_minstr,
+    figure4_spike,
+)
 
 
 class TestBuildPopulation:

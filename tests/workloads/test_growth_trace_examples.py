@@ -2,9 +2,17 @@
 
 import pytest
 
-from repro.workloads import (CallTrace, GrowthModel, LaunchEvent, TraceLog,
-                             all_examples, falco, figure3_model,
-                             morphing_framework, table2_rows)
+from repro.workloads import (
+    CallTrace,
+    GrowthModel,
+    LaunchEvent,
+    TraceLog,
+    all_examples,
+    falco,
+    figure3_model,
+    morphing_framework,
+    table2_rows,
+)
 
 
 class TestGrowthModel:

@@ -3,12 +3,18 @@
 import math
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.sim import RngStream
-from repro.workloads import (Criticality, FunctionSpec, LogNormal, QuotaType,
-                             ResourceProfile, RetryPolicy, TriggerType)
+from repro.workloads import (
+    Criticality,
+    FunctionSpec,
+    LogNormal,
+    QuotaType,
+    ResourceProfile,
+    RetryPolicy,
+    TriggerType,
+)
 from repro.workloads.spec import DAY_S, _norm_ppf
 
 
