@@ -71,6 +71,11 @@ def run_benchmark(mode: str, workers: int, label: str = "") -> dict:
         "workers": workers,
         "wall_serial_s": round(wall_serial, 3),
         "wall_parallel_s": round(wall_parallel, 3),
+        #: Per-run wall clocks (same spec order as ``digests``): the
+        #: aggregate speedup is only legible next to the straggler
+        #: profile — one slow seed bounds the parallel wall clock.
+        "run_wall_serial_s": [round(r.wall_s, 3) for r in serial],
+        "run_wall_parallel_s": [round(r.wall_s, 3) for r in parallel],
         "speedup": round(wall_serial / wall_parallel, 3),
         "all_ok": all(r.ok for r in serial + parallel),
         "digests_identical": digests_serial == digests_parallel,
@@ -101,6 +106,10 @@ def main(argv=None) -> int:
           f"serial {rec['wall_serial_s']:.1f}s, "
           f"parallel({rec['workers']}w) {rec['wall_parallel_s']:.1f}s "
           f"-> {rec['speedup']:.2f}x speedup")
+    print("per-run wall s: serial "
+          + " ".join(f"{w:.2f}" for w in rec["run_wall_serial_s"])
+          + " | parallel "
+          + " ".join(f"{w:.2f}" for w in rec["run_wall_parallel_s"]))
     print(f"digests identical: {rec['digests_identical']}, "
           f"all ok: {rec['all_ok']}, "
           f"fleet util {rec['fleet_util_mean']:.3f} "
@@ -113,6 +122,11 @@ def main(argv=None) -> int:
         if not (rec["all_ok"] and rec["digests_identical"]):
             print("FAIL: sweep runs failed or diverged between serial and "
                   "parallel execution")
+            return 1
+        if (rec["cpu_count"] or 1) > 1 and rec["speedup"] <= 1.0:
+            print(f"FAIL: parallel sweep showed no speedup "
+                  f"({rec['speedup']:.2f}x on {rec['cpu_count']} cores) — "
+                  "the spawn pool is adding overhead without parallelism")
             return 1
         print("OK: serial and parallel sweeps are behaviorally identical")
         return 0

@@ -89,6 +89,10 @@ class ContainerPool:
         self._specs: Dict[str, FunctionSpec] = {}
         self._limits: Dict[str, int] = {}
         self._containers: Dict[str, List[_Container]] = {}
+        #: function name → its sampling stream; the registry hands back
+        #: the same stream per name, so resolving once per function
+        #: (not per call) is behaviorally identical (simlint SL007).
+        self._streams: Dict[str, object] = {}
         self.cold_starts = 0
         self.warm_starts = 0
         self.rejections = 0
@@ -151,7 +155,11 @@ class ContainerPool:
         if container.kill_handle is not None:
             container.kill_handle.cancel()
             container.kill_handle = None
-        rng = self.sim.rng.stream(f"baseline/{spec.name}")
+        rng = self._streams.get(spec.name)
+        if rng is None:
+            rng = self._streams[spec.name] = \
+                self.sim.rng.stream(  # simlint: disable=SL007 -- memo miss
+                    f"baseline/{spec.name}")
         cpu_minstr, _, exec_s = spec.profile.sample(rng, self.params.core_mips)
         startup = 0.0
         if cold:

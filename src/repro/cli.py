@@ -231,6 +231,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .profile import ProfileRecorder
+    from .scenarios import build_dayrun
+
+    horizon_s = 600.0 if args.quick else args.hours * 3600.0
+    recorder = ProfileRecorder()
+    if not args.json:
+        print(f"profiling dayrun ({horizon_s / 3600.0:.2f} h simulated, "
+              f"seed {args.seed}) ...", flush=True)
+    with recorder.installed():
+        run = build_dayrun(seed=args.seed, horizon_s=horizon_s,
+                           profiler=recorder)
+    digest = run.platform.traces.digest()
+
+    if args.flamegraph:
+        folded = recorder.collapsed()
+        if args.flamegraph == "-":
+            print(folded)
+        else:
+            with open(args.flamegraph, "w") as fh:
+                fh.write(folded + "\n")
+            if not args.json:
+                print(f"folded stacks written to {args.flamegraph} "
+                      "(render with flamegraph.pl or speedscope)")
+
+    if args.json:
+        print(json.dumps({
+            "horizon_s": horizon_s, "seed": args.seed,
+            "events_executed": run.sim.events_executed,
+            "trace_digest": digest,
+            "profile": recorder.to_json(),
+        }, indent=1))
+    else:
+        print()
+        print(recorder.table(top=args.top))
+        print()
+        print(f"events executed: {run.sim.events_executed}, "
+              f"trace digest {digest[:12]}...")
+    if args.expect_digest and digest != args.expect_digest:
+        print(f"DIGEST MISMATCH: profiled run produced {digest}, "
+              f"expected {args.expect_digest} — profiling changed "
+              "simulation behavior", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lifecycle(args: argparse.Namespace) -> int:
     rows = [[n, name, cost] for n, name, cost in BASELINE_STEPS]
     print(format_table(["step", "name", "baseline cost (s)"], rows,
@@ -314,12 +360,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit the full sweep report as JSON")
     sweep_p.set_defaults(func=_cmd_sweep)
 
+    prof_p = sub.add_parser(
+        "profile",
+        help="run a dayrun under the deterministic time-attribution "
+             "profiler and print where wall time goes")
+    prof_p.add_argument("--quick", action="store_true",
+                        help="10 simulated minutes instead of --hours")
+    prof_p.add_argument("--hours", type=float, default=1.0)
+    prof_p.add_argument("--seed", type=int, default=7)
+    prof_p.add_argument("--top", type=int, default=None,
+                        help="show only the top N rows by self time")
+    prof_p.add_argument("--json", action="store_true",
+                        help="emit the attribution data as JSON")
+    prof_p.add_argument("--flamegraph", metavar="PATH",
+                        help="write collapsed stacks for flamegraph.pl / "
+                             "speedscope ('-' for stdout)")
+    prof_p.add_argument("--expect-digest", metavar="SHA256",
+                        help="fail unless the profiled run's trace digest "
+                             "matches (CI parity check)")
+    prof_p.set_defaults(func=_cmd_profile)
+
     # NOTE: the `lint` subcommand is dispatched in main() before this
     # parser runs (argparse.REMAINDER mis-parses leading options,
     # bpo-17050); it is registered here only so --help lists it.
     sub.add_parser("lint",
                    help="determinism & sim-safety static analysis "
-                        "(SL001-SL006; see `python -m repro lint --help`)")
+                        "(SL001-SL007; see `python -m repro lint --help`)")
 
     life_p = sub.add_parser("lifecycle",
                             help="print the Figure 1 lifecycle cost table")

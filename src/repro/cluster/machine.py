@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..util import add_slots
+
 
 @dataclass(frozen=True)
 class MachineSpec:
@@ -44,6 +46,7 @@ class MachineSpec:
         return self.cores * self.core_mips
 
 
+@add_slots
 @dataclass
 class CpuAccount:
     """Integrates fractional CPU load over time into utilization.

@@ -89,6 +89,9 @@ class FunctionCall:
     resources: Optional[Tuple[float, float, float]] = None
     #: True when the submitter spilled oversized args to the KV store.
     args_spilled: bool = False
+    #: Memoized :meth:`sort_key` — every buffer/RunQ (re)insertion keys
+    #: on it, and all of its inputs are fixed at submission.
+    _sort_key: Optional[Tuple[float, float, int]] = None
 
     def __post_init__(self) -> None:
         if self.start_time < self.submit_time:
@@ -121,4 +124,11 @@ class FunctionCall:
         Returns a tuple for a *min*-heap: higher criticality and earlier
         deadline come first; call id breaks ties deterministically.
         """
-        return (-self.criticality, self.deadline_time, self.call_id)
+        key = self._sort_key
+        if key is None:
+            key = (-int(self.spec.criticality),
+                   self.start_time + self.spec.deadline_s, self.call_id)
+            if self.call_id:
+                # Only memoize once the allocator has assigned an id.
+                self._sort_key = key
+        return key

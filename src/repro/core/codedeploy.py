@@ -18,9 +18,10 @@ Workers adopt a new bundle in three phases:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from ..sim.kernel import Simulator
+from ..sim.sampler import SamplerHub
 from .jit import JitParams
 
 
@@ -62,8 +63,10 @@ class CodeDeployer:
 
     def __init__(self, sim: Simulator, params: RolloutParams = RolloutParams(),
                  jit_params: JitParams = JitParams(),
-                 cooperative_jit: bool = True) -> None:
+                 cooperative_jit: bool = True,
+                 timers: Optional[SamplerHub] = None) -> None:
         self.sim = sim
+        self._timers = timers
         self.params = params
         self.jit_params = jit_params
         self.cooperative_jit = cooperative_jit
@@ -79,7 +82,8 @@ class CodeDeployer:
         """Begin periodic pushes (first push after one interval)."""
         if self._task is not None:
             raise RuntimeError("deployer already started")
-        self._task = self.sim.every(
+        timers = self._timers if self._timers is not None else self.sim
+        self._task = timers.every(
             self.params.push_interval_s, self.push_new_version,
             start=self.sim.now + self.params.push_interval_s)
 

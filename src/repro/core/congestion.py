@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..util import add_slots
 from ..workloads.spec import FunctionSpec
 from .ratelimiter import TokenBucket
 
@@ -49,6 +50,7 @@ class CongestionParams:
             raise ValueError("slow_start_growth must be positive")
 
 
+@add_slots
 @dataclass
 class _FunctionState:
     spec: FunctionSpec
@@ -68,6 +70,9 @@ class CongestionController:
 
     def __init__(self, params: Optional[CongestionParams] = None) -> None:
         self.params = params or CongestionParams()
+        # Slow-start constants folded once for the dispatch gate.
+        self._ss_growth_factor = 1.0 + self.params.slow_start_growth
+        self._ss_threshold = self.params.slow_start_threshold_calls
         self._functions: Dict[str, _FunctionState] = {}
         #: Per-service back-pressure thresholds (exceptions/min), set by
         #: service owners (§4.6.3); falls back to the params default.
@@ -102,21 +107,60 @@ class CongestionController:
         if st is None:
             raise KeyError(
                 f"function {name!r} not registered with congestion controller")
+        return self.can_dispatch_state(st, now)
+
+    def state_for(self, name: str) -> _FunctionState:
+        """Resolve a function's gate state once (scheduler sweeps gate
+        many calls of the same function back to back)."""
+        return self._require(name)
+
+    def can_dispatch_state(self, st: _FunctionState, now: float) -> bool:
+        """:meth:`can_dispatch` on a pre-resolved :meth:`state_for`."""
         limit = st.spec.concurrency_limit
         if limit is not None and st.running >= limit:
             self.concurrency_denials += 1
             return False
-        p = self.params
-        allowance = st.prev_window_dispatches * (1.0 + p.slow_start_growth)
-        if allowance < p.slow_start_threshold_calls:
-            allowance = p.slow_start_threshold_calls
+        allowance = st.prev_window_dispatches * self._ss_growth_factor
+        if allowance < self._ss_threshold:
+            allowance = self._ss_threshold
         if st.window_dispatches >= allowance:
             self.slow_start_denials += 1
             return False
-        if not st.bucket.set_rate_and_take(now, st.rps_limit):
-            self.rate_denials += 1
-            return False
-        return True
+        # TokenBucket.set_rate_and_take inlined (identical arithmetic):
+        # this gate runs for every dispatch attempt of every sweep.
+        bucket = st.bucket
+        rate = st.rps_limit
+        tokens = bucket.tokens
+        burst_s = bucket.burst_s
+        min_tokens = bucket.min_tokens
+        old_rate = bucket.rate
+        elapsed = now - bucket.last_refill
+        if elapsed > 0:
+            if old_rate <= 0:
+                cap = 0.0
+            else:
+                cap = old_rate * burst_s
+                if cap < min_tokens:
+                    cap = min_tokens
+            tokens += elapsed * old_rate
+            if tokens > cap:
+                tokens = cap
+            bucket.last_refill = now
+        bucket.rate = rate
+        if rate <= 0:
+            cap = 0.0
+        else:
+            cap = rate * burst_s
+            if cap < min_tokens:
+                cap = min_tokens
+        if tokens > cap:
+            tokens = cap
+        if tokens >= 1.0:
+            bucket.tokens = tokens - 1.0
+            return True
+        bucket.tokens = tokens
+        self.rate_denials += 1
+        return False
 
     def _slow_start_allows(self, st: _FunctionState) -> bool:
         p = self.params

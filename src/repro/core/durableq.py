@@ -16,9 +16,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..sim.kernel import Simulator
+from ..util import add_slots
 from .call import CallState, FunctionCall
 
 
+@add_slots
 @dataclass
 class _Lease:
     call: FunctionCall
@@ -84,36 +86,48 @@ class DurableQ:
         """
         if max_items <= 0:
             return []
-        now = self.sim.now
+        now = self.sim._now
         leased: List[FunctionCall] = []
         if not self._rr_names:
             return leased
+        # Schedulers poll every tick and most visited names hold nothing
+        # ready, so the rotation scan is this class's hottest loop — run
+        # it on locals (the name list cannot change mid-poll; only
+        # enqueue/nack/sweep register names).
+        rr_names = self._rr_names
+        queues_get = self._queues.get
+        leases = self._leases
+        heappop = heapq.heappop
+        expires_at = now + self.lease_timeout_s
+        n_leased = 0
+        idx = self._rr_idx
         attempts = 0
-        n_names = len(self._rr_names)
-        while len(leased) < max_items and attempts < n_names:
-            name = self._rr_names[self._rr_idx % len(self._rr_names)]
-            self._rr_idx += 1
+        n_names = len(rr_names)
+        while n_leased < max_items and attempts < n_names:
+            name = rr_names[idx % n_names]
+            idx += 1
             attempts += 1
             if name in skip:
                 continue
-            queue = self._queues.get(name)
+            queue = queues_get(name)
             took_any = False
-            while queue and len(leased) < max_items:
+            while queue and n_leased < max_items:
                 start_time, _, call = queue[0]
                 if start_time > now:
                     break
-                heapq.heappop(queue)
+                heappop(queue)
                 call.state = CallState.BUFFERED
-                self._leases[call.call_id] = _Lease(
+                leases[call.call_id] = _Lease(
                     call=call, scheduler_id=scheduler_id,
-                    expires_at=now + self.lease_timeout_s)
+                    expires_at=expires_at)
                 leased.append(call)
+                n_leased += 1
                 took_any = True
             if took_any:
                 # Reset the per-name attempt budget: fairness across
                 # names is preserved by the rotating cursor.
                 attempts = 0
-                n_names = len(self._rr_names)
+        self._rr_idx = idx
         self._gc_names()
         return leased
 

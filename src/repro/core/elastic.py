@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 
 from ..cluster.machine import MachineSpec
 from ..sim.kernel import Simulator
+from ..sim.sampler import SamplerHub
 from .call import FunctionCall
 from .worker import Worker, WorkerParams
 
@@ -27,6 +28,8 @@ from .worker import Worker, WorkerParams
 class ElasticWorker(Worker):
     """A worker that only accepts background (opportunistic/LOW) calls
     and can be reclaimed at any moment."""
+
+    __slots__ = ("available", "reclaim_count")
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -76,7 +79,8 @@ class ElasticPool:
                  params: WorkerParams = WorkerParams(),
                  schedule: ElasticSchedule = ElasticSchedule(),
                  check_interval_s: float = 60.0,
-                 on_finish: Optional[Callable] = None) -> None:
+                 on_finish: Optional[Callable] = None,
+                 timers: Optional[SamplerHub] = None) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.sim = sim
@@ -89,7 +93,8 @@ class ElasticPool:
             for w in range(n_workers)]
         self.grants = 0
         self.reclaims = 0
-        self._task = sim.every(check_interval_s, self._check)
+        self._task = (timers if timers is not None else sim).every(
+            check_interval_s, self._check)
         self._check()
 
     def _check(self) -> None:

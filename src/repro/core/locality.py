@@ -20,9 +20,10 @@ cached copy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..sim.kernel import Simulator
+from ..sim.sampler import SamplerHub
 from ..workloads.spec import FunctionSpec
 from .config import ConfigStore
 from .worker import Worker
@@ -59,8 +60,10 @@ class LocalityOptimizer:
     def __init__(self, sim: Simulator, config: ConfigStore,
                  params: LocalityParams = LocalityParams(),
                  enabled: bool = True,
-                 namespace: str = "default") -> None:
+                 namespace: str = "default",
+                 timers: Optional[SamplerHub] = None) -> None:
         self.sim = sim
+        self._timers = timers
         self.config = config
         self.params = params
         self.enabled = enabled
@@ -103,10 +106,11 @@ class LocalityOptimizer:
         if not self.enabled:
             return
         p = self.params
-        self._tasks.append(self.sim.every(
+        timers = self._timers if self._timers is not None else self.sim
+        self._tasks.append(timers.every(
             p.reassign_interval_s, self.reassign,
             start=self.sim.now + p.reassign_interval_s))
-        self._tasks.append(self.sim.every(
+        self._tasks.append(timers.every(
             p.rebalance_interval_s, self.rebalance_workers,
             start=self.sim.now + p.rebalance_interval_s))
 

@@ -25,9 +25,11 @@ from typing import Callable, Dict, List, Optional
 from ..cluster.topology import Topology
 from ..downstream.service import ServiceRegistry
 from ..metrics.recorder import MetricsRegistry
+from ..metrics.timeseries import Counter
 from ..sim.kernel import Simulator
+from ..sim.sampler import SamplerHub
 from ..workloads.spec import FunctionSpec, QuotaType
-from ..workloads.trace import CallTrace, TraceLog
+from ..workloads.trace import TraceLog
 from .call import CallIdAllocator, CallOutcome, FunctionCall
 from .codedeploy import CodeDeployer, RolloutParams
 from .config import ConfigStore
@@ -104,6 +106,22 @@ class XFaaS:
         self.congestion = CongestionController(params.congestion)
         self._specs: Dict[str, FunctionSpec] = {}
 
+        # Per-call metrics resolved once here; the submit/finish hot
+        # paths below use the handles directly (simlint SL007).
+        self._calls_received = self.metrics.bind_counter("calls.received")
+        self._calls_executed = self.metrics.bind_counter("calls.executed")
+        self._calls_throttled = self.metrics.bind_counter("calls.throttled")
+        self._cpu_reserved = self.metrics.bind_counter("cpu.reserved")
+        self._cpu_opportunistic = self.metrics.bind_counter(
+            "cpu.opportunistic")
+        self._queueing_latency = self.metrics.bind_distribution(
+            "latency.queueing")
+        self._completion_latency = self.metrics.bind_distribution(
+            "latency.completion")
+        self._backpressure_counters: Dict[str, Counter] = {}
+        # Built lazily on first submit (topology shares are final then).
+        self._client_region_chooser: Optional[Callable[[], str]] = None
+
         ns = params.namespace
         self.namespaces.create(ns)
         regions = topology.region_names
@@ -116,17 +134,26 @@ class XFaaS:
             self.durableqs_by_region[r] = shards
 
         # --- Controllers (off the critical path) ----------------------
-        self.rim = Rim(sim, self.metrics, params.rim_sample_interval_s)
+        # All unjittered control loops share one SamplerHub so each
+        # shared firing instant costs one kernel event, not one per
+        # loop.  Jittered tasks (scheduler ticks, DurableQ sweeps,
+        # config refresh) never share instants and stay on sim.every.
+        self.sampler_hub = SamplerHub(sim)
+        self.rim = Rim(sim, self.metrics, params.rim_sample_interval_s,
+                       timers=self.sampler_hub)
         self.locality_optimizer = LocalityOptimizer(
             sim, self.config, params.locality,
-            enabled=params.locality_groups, namespace=ns)
+            enabled=params.locality_groups, namespace=ns,
+            timers=self.sampler_hub)
         self.gtc = GlobalTrafficConductor(
             sim, self.rim, self.config, topology.network, params.gtc,
-            enabled=params.global_dispatch)
+            enabled=params.global_dispatch, timers=self.sampler_hub)
         self.utilization_controller = UtilizationController(
-            sim, self.rim, self.config, params.utilization)
+            sim, self.rim, self.config, params.utilization,
+            timers=self.sampler_hub)
         self.deployer = CodeDeployer(sim, params.rollout, params.jit,
-                                     cooperative_jit=params.cooperative_jit)
+                                     cooperative_jit=params.cooperative_jit,
+                                     timers=self.sampler_hub)
         if not params.time_shifting:
             # Ablation: opportunistic functions are not deferred — their
             # elastic limit is pinned wide open.
@@ -171,7 +198,8 @@ class XFaaS:
             scheduler = Scheduler(
                 sim, r, self.durableqs_by_region, workerlb,
                 self.rate_limiter, self.congestion, self.config,
-                params.scheduler, on_done=self._on_done)
+                params.scheduler, on_done=self._on_done,
+                timers=self.sampler_hub)
             self.schedulers[r] = scheduler
             self.rim.register_scheduler(r, scheduler)
             for worker in workers:
@@ -197,12 +225,14 @@ class XFaaS:
         self.locality_optimizer.start()
         if params.start_code_deployer:
             self.deployer.start()
-        sim.every(params.congestion.adjust_window_s,
-                  lambda: self.congestion.adjust(sim.now))
-        sim.every(params.distinct_window_s, self._sample_distinct_functions,
-                  start=params.distinct_window_s)
+        self.sampler_hub.every(params.congestion.adjust_window_s,
+                               lambda: self.congestion.adjust(sim.now))
+        self.sampler_hub.every(params.distinct_window_s,
+                               self._sample_distinct_functions,
+                               start=params.distinct_window_s)
         if params.memory_sample_interval_s > 0:
-            sim.every(params.memory_sample_interval_s, self._sample_memory)
+            self.sampler_hub.every(params.memory_sample_interval_s,
+                                   self._sample_memory)
 
         self.submitted_count = 0
         self.throttled_count = 0
@@ -256,7 +286,8 @@ class XFaaS:
         kwargs = {"schedule": schedule} if schedule is not None else {}
         pool = ElasticPool(self.sim, region, n_workers, machine=machine,
                            params=self.params.worker,
-                           on_finish=scheduler.on_call_finished, **kwargs)
+                           on_finish=scheduler.on_call_finished,
+                           timers=self.sampler_hub, **kwargs)
         self.workerlbs[region].workers.extend(pool.workers)
         self.workers_by_region[region].extend(pool.workers)
         self.rim.register_workers(region, pool.workers)
@@ -291,7 +322,7 @@ class XFaaS:
                             source_level=source_level,
                             args_size_kb=args_size_kb,
                             call_id=self._call_id_allocator.allocate())
-        self.metrics.counter("calls.received").add(now)
+        self._calls_received.add(now)
         self.submitted_count += 1
         accepted = self.frontends[region].submit(call)
         return call if accepted else None
@@ -317,14 +348,14 @@ class XFaaS:
     # Wiring callbacks
     # ------------------------------------------------------------------
     def _pick_client_region(self) -> str:
-        rng = self.sim.rng.stream("client-region")
-        if not hasattr(self, "_client_region_weights"):
+        chooser = self._client_region_chooser
+        if chooser is None:
             shares = self.topology.capacity_share(self.params.namespace)
             regions = sorted(shares)
-            self._client_region_weights = (
+            chooser = self.sim.rng.stream("client-region").weighted_chooser(
                 regions, [max(shares[r], 1e-9) for r in regions])
-        regions, weights = self._client_region_weights
-        return rng.weighted_choice(regions, weights)
+            self._client_region_chooser = chooser
+        return chooser()
 
     def _invoke_downstream(self, call: FunctionCall) -> CallOutcome:
         outcome = CallOutcome.OK
@@ -337,9 +368,12 @@ class XFaaS:
                 self.congestion.on_backpressure(
                     call.function_name, service_name, result.exceptions)
             if result.exceptions:
-                self.metrics.counter(
-                    f"backpressure.{service_name}").add(
-                        self.sim.now, result.exceptions)
+                ctr = self._backpressure_counters.get(service_name)
+                if ctr is None:
+                    ctr = self._backpressure_counters[service_name] = \
+                        self.metrics.counter(  # simlint: disable=SL007 -- memo miss
+                            f"backpressure.{service_name}")
+                ctr.add(self.sim.now, result.exceptions)
             if result.failures:
                 outcome = CallOutcome.ERROR
         return outcome
@@ -350,53 +384,28 @@ class XFaaS:
             # The call finished: its spilled arguments are garbage.
             self.kvstore.delete(f"args/{call.call_id}")
         if outcome is CallOutcome.OK and call.dispatch_time is not None:
-            self.metrics.counter("calls.executed").add(call.dispatch_time)
+            self._calls_executed.add(call.dispatch_time)
             if call.resources is not None:
                 cpu = call.resources[0]
-                key = ("cpu.reserved"
+                ctr = (self._cpu_reserved
                        if call.spec.quota_type is QuotaType.RESERVED
-                       else "cpu.opportunistic")
-                self.metrics.counter(key).add(call.dispatch_time, cpu)
+                       else self._cpu_opportunistic)
+                ctr.add(call.dispatch_time, cpu)
             eligible = max(call.submit_time, call.start_time)
-            self.metrics.distribution("latency.queueing").add(
+            self._queueing_latency.add(
                 max(0.0, call.dispatch_time - eligible))
-            self.metrics.distribution("latency.completion").add(
-                now - call.submit_time)
+            self._completion_latency.add(now - call.submit_time)
         if self.params.collect_traces:
-            self.traces.add(self._trace(call, outcome))
+            self.traces.add_call(
+                call, outcome.value if outcome else "unknown")
         for listener in self._completion_listeners:
             listener(call, outcome)
 
     def _on_throttle(self, call: FunctionCall) -> None:
         self.throttled_count += 1
-        self.metrics.counter("calls.throttled").add(self.sim.now)
+        self._calls_throttled.add(self.sim.now)
         if self.params.collect_traces:
-            self.traces.add(self._trace(call, None, outcome_name="throttled"))
-
-    def _trace(self, call: FunctionCall, outcome: Optional[CallOutcome],
-               outcome_name: Optional[str] = None) -> CallTrace:
-        resources = call.resources or (0.0, 0.0, 0.0)
-        return CallTrace(
-            call_id=call.call_id,
-            function=call.function_name,
-            trigger=call.spec.trigger.value,
-            criticality=call.criticality,
-            quota_type=call.spec.quota_type.value,
-            submit_time=call.submit_time,
-            start_time_requested=call.start_time,
-            dispatch_time=call.dispatch_time if call.dispatch_time is not None
-            else -1.0,
-            finish_time=call.finish_time if call.finish_time is not None
-            else -1.0,
-            region_submitted=call.region_submitted,
-            region_executed=call.scheduler_region or "",
-            worker=call.worker_name or "",
-            outcome=outcome_name or (outcome.value if outcome else "unknown"),
-            cpu_minstr=resources[0],
-            memory_mb=resources[1],
-            exec_time_s=resources[2],
-            attempts=call.attempts + 1,
-        )
+            self.traces.add_call(call, "throttled")
 
     # ------------------------------------------------------------------
     # Periodic samplers

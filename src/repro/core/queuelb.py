@@ -10,7 +10,7 @@ spreading each function's calls evenly over shards.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.kernel import Simulator
 from .call import FunctionCall
@@ -66,6 +66,12 @@ class QueueLB:
         self._routing = CachedConfig(sim, config, ROUTING_KEY,
                                      default=default_policy)
         self.routed_count = 0
+        # Chooser memo keyed on the active routing row's identity; the
+        # row object only changes when a new policy propagates, so the
+        # cumulative-weight table is rebuilt per policy update instead of
+        # per routed call.
+        self._row_chooser: Tuple[Optional[dict], Optional[Callable[[], str]]] \
+            = (None, None)
 
     def route(self, call: FunctionCall) -> DurableQ:
         """Pick a DurableQ for the call and enqueue it there."""
@@ -85,11 +91,18 @@ class QueueLB:
         row = policy.get(self.region)
         if not row:
             return self.region
-        regions = sorted(row)
-        weights = [max(row[r], 0.0) for r in regions]
-        if sum(weights) <= 0:
+        memo_row, chooser = self._row_chooser
+        if row is not memo_row:
+            regions = sorted(row)
+            weights = [max(row[r], 0.0) for r in regions]
+            if sum(weights) <= 0:
+                chooser = None
+            else:
+                chooser = self.rng.weighted_chooser(regions, weights)
+            self._row_chooser = (row, chooser)
+        if chooser is None:
             return self.region
-        return self.rng.weighted_choice(regions, weights)
+        return chooser()
 
     def stop(self) -> None:
         self._routing.stop()

@@ -17,9 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..util import add_slots
 from ..workloads.spec import FunctionSpec, QuotaType
 
 
+@add_slots
 @dataclass
 class TokenBucket:
     """Token bucket whose rate can be re-evaluated at every refill.
@@ -78,16 +80,31 @@ class TokenBucket:
         single capacity evaluation per rate value.
         """
         tokens = self.tokens
+        burst_s = self.burst_s
+        min_tokens = self.min_tokens
+        old_rate = self.rate
         elapsed = now - self.last_refill
         if elapsed > 0:
-            # Settle accrued tokens at the *old* rate first.
-            cap = self.capacity
-            tokens += elapsed * self.rate
+            # Settle accrued tokens at the *old* rate first.  Capacity
+            # is inlined (same arithmetic as the property — this method
+            # runs a quarter-million times per simulated hour).
+            if old_rate <= 0:
+                cap = 0.0
+            else:
+                cap = old_rate * burst_s
+                if cap < min_tokens:
+                    cap = min_tokens
+            tokens += elapsed * old_rate
             if tokens > cap:
                 tokens = cap
             self.last_refill = now
         self.rate = rate
-        cap = self.capacity
+        if rate <= 0:
+            cap = 0.0
+        else:
+            cap = rate * burst_s
+            if cap < min_tokens:
+                cap = min_tokens
         if tokens > cap:
             tokens = cap
         if tokens >= 1.0:
@@ -97,6 +114,7 @@ class TokenBucket:
         return False
 
 
+@add_slots
 @dataclass
 class _FunctionQuota:
     spec: FunctionSpec
@@ -108,9 +126,12 @@ class _FunctionQuota:
     bucket: TokenBucket = field(init=False)
     #: Memoized ``base_rps``; invalidated by :meth:`record`.
     _base_rps_cache: Optional[float] = field(default=None, repr=False)
+    #: Folded ``spec.quota_type is OPPORTUNISTIC`` for the acquire path.
+    opportunistic: bool = field(init=False)
 
     def __post_init__(self) -> None:
         self.bucket = TokenBucket(rate=self.base_rps)
+        self.opportunistic = self.spec.quota_type is QuotaType.OPPORTUNISTIC
 
     @property
     def avg_cost_minstr(self) -> float:
@@ -188,16 +209,59 @@ class CentralRateLimiter:
         fq = self._functions.get(name)
         if fq is None:
             raise KeyError(f"function {name!r} not registered with rate limiter")
-        limit = fq.base_rps
-        if fq.spec.quota_type is QuotaType.OPPORTUNISTIC:
+        return self.try_acquire_quota(fq, now, s_multiplier)
+
+    def quota_for(self, name: str) -> _FunctionQuota:
+        """Resolve a function's quota state once (scheduler sweeps gate
+        many calls of the same function back to back)."""
+        return self._require(name)
+
+    def try_acquire_quota(self, fq: _FunctionQuota, now: float,
+                          s_multiplier: float = 1.0) -> bool:
+        """:meth:`try_acquire` on a pre-resolved :meth:`quota_for`."""
+        limit = fq._base_rps_cache
+        if limit is None:
+            limit = fq.base_rps
+        if fq.opportunistic:
             limit *= s_multiplier if s_multiplier > 0.0 else 0.0
         if limit <= 0:
             # S = 0: opportunistic scheduling is fully stopped (§4.6.2).
             self.throttle_count += 1
             return False
-        if fq.bucket.set_rate_and_take(now, limit):
+        # TokenBucket.set_rate_and_take inlined (identical arithmetic):
+        # the acquire gate runs for every dispatch attempt of every
+        # sweep, and the call frame dominates the bucket update.
+        bucket = fq.bucket
+        tokens = bucket.tokens
+        burst_s = bucket.burst_s
+        min_tokens = bucket.min_tokens
+        old_rate = bucket.rate
+        elapsed = now - bucket.last_refill
+        if elapsed > 0:
+            if old_rate <= 0:
+                cap = 0.0
+            else:
+                cap = old_rate * burst_s
+                if cap < min_tokens:
+                    cap = min_tokens
+            tokens += elapsed * old_rate
+            if tokens > cap:
+                tokens = cap
+            bucket.last_refill = now
+        bucket.rate = limit
+        if limit <= 0:
+            cap = 0.0
+        else:
+            cap = limit * burst_s
+            if cap < min_tokens:
+                cap = min_tokens
+        if tokens > cap:
+            tokens = cap
+        if tokens >= 1.0:
+            bucket.tokens = tokens - 1.0
             self.allow_count += 1
             return True
+        bucket.tokens = tokens
         self.throttle_count += 1
         return False
 

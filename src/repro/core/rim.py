@@ -14,10 +14,12 @@ and 8.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..metrics.recorder import MetricsRegistry
+from ..metrics.timeseries import Gauge
 from ..sim.kernel import Simulator
+from ..sim.sampler import SamplerHub
 from .durableq import DurableQ
 from .scheduler import Scheduler
 from .worker import Worker
@@ -27,20 +29,29 @@ class Rim:
     """Fleet-wide metric collection."""
 
     def __init__(self, sim: Simulator, metrics: MetricsRegistry,
-                 sample_interval_s: float = 60.0) -> None:
+                 sample_interval_s: float = 60.0,
+                 timers: Optional[SamplerHub] = None) -> None:
         self.sim = sim
         self.metrics = metrics
         self.sample_interval_s = sample_interval_s
+        self._timers = timers
         self._workers_by_region: Dict[str, List[Worker]] = {}
         self._durableqs_by_region: Dict[str, List[DurableQ]] = {}
         self._schedulers_by_region: Dict[str, Scheduler] = {}
         self._region_util: Dict[str, float] = {}
         self._fleet_util: float = 0.0
         self._task = None
+        self._fleet_gauge = metrics.bind_gauge("fleet.utilization")
+        #: region -> bound utilization gauge (simlint SL007: no f-string
+        #: gauge lookup inside the sampling loop).
+        self._region_gauges: Dict[str, Gauge] = {}
 
     # ------------------------------------------------------------------
     def register_workers(self, region: str, workers: List[Worker]) -> None:
         self._workers_by_region.setdefault(region, []).extend(workers)
+        if region not in self._region_gauges:
+            self._region_gauges[region] = self.metrics.bind_gauge(
+                f"region.{region}.utilization")
 
     def register_durableqs(self, region: str, shards: List[DurableQ]) -> None:
         self._durableqs_by_region.setdefault(region, []).extend(shards)
@@ -51,8 +62,9 @@ class Rim:
     def start(self) -> None:
         if self._task is not None:
             raise RuntimeError("RIM already started")
-        self._task = self.sim.every(self.sample_interval_s, self.sample,
-                                    start=self.sim.now + self.sample_interval_s)
+        timers = self._timers if self._timers is not None else self.sim
+        self._task = timers.every(self.sample_interval_s, self.sample,
+                                  start=self.sim.now + self.sample_interval_s)
 
     def stop(self) -> None:
         if self._task is not None:
@@ -71,13 +83,12 @@ class Rim:
             utils = [w.take_utilization_window() for w in workers]
             region_util = sum(utils) / len(utils)
             self._region_util[region] = region_util
-            self.metrics.gauge(f"region.{region}.utilization").set(
-                now, region_util)
+            self._region_gauges[region].set(now, region_util)
             total_busy_fraction += sum(utils)
             total_workers += len(utils)
         if total_workers:
             self._fleet_util = total_busy_fraction / total_workers
-            self.metrics.gauge("fleet.utilization").set(now, self._fleet_util)
+            self._fleet_gauge.set(now, self._fleet_util)
 
     # ------------------------------------------------------------------
     # Views consumed by controllers

@@ -22,16 +22,18 @@ at-least-once redelivery up to the function's retry policy.
 
 from __future__ import annotations
 
+import heapq
+import operator
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.kernel import Simulator
+from ..sim.sampler import SamplerHub
 from .call import CallOutcome, CallState, FunctionCall
 from .config import CachedConfig, ConfigStore
 from .congestion import CongestionController
 from .durableq import DurableQ
 from .funcbuffer import FuncBuffer
-from .isolation import flow_allowed
 from .ratelimiter import CentralRateLimiter
 from .runq import RunQ
 from .workerlb import WorkerLB
@@ -40,6 +42,11 @@ TRAFFIC_MATRIX_KEY = "gtc/traffic_matrix"
 S_MULTIPLIER_KEY = "utilization/S"
 
 DoneCallback = Callable[[FunctionCall, CallOutcome], None]
+
+#: Head-key extractor for the per-pass buffer ordering (head keys embed
+#: the unique call id, so ties — and a comparison falling through to the
+#: FuncBuffer operand — cannot occur).
+_HEAD_KEY = operator.itemgetter(0)
 
 
 @dataclass(frozen=True)
@@ -79,7 +86,8 @@ class Scheduler:
                  congestion: CongestionController,
                  config: ConfigStore,
                  params: SchedulerParams = SchedulerParams(),
-                 on_done: Optional[DoneCallback] = None) -> None:
+                 on_done: Optional[DoneCallback] = None,
+                 timers: Optional[SamplerHub] = None) -> None:
         self.sim = sim
         self.region = region
         self.scheduler_id = f"scheduler/{region}"
@@ -92,6 +100,10 @@ class Scheduler:
 
         self._buffers: Dict[str, FuncBuffer] = {}
         self._buffered_total = 0
+        #: function name → (congestion state, quota) — both objects are
+        #: registered once and mutated in place, so the pair can be
+        #: resolved once per function instead of twice per sweep.
+        self._gate_states: Dict[str, Tuple[object, object]] = {}
         self.runq = RunQ(capacity=params.runq_capacity)
         #: call_id → DurableQ holding its lease (for ACK/NACK/extension).
         self._inflight: Dict[int, Tuple[FunctionCall, DurableQ]] = {}
@@ -112,8 +124,9 @@ class Scheduler:
         self._tick_task = sim.every(params.poll_interval_s, self.tick,
                                     jitter=params.poll_interval_s * 0.05,
                                     rng_stream=f"sched-jitter/{region}")
-        self._lease_task = sim.every(params.lease_extension_interval_s,
-                                     self._extend_leases)
+        lease_timers = timers if timers is not None else sim
+        self._lease_task = lease_timers.every(
+            params.lease_extension_interval_s, self._extend_leases)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -128,11 +141,39 @@ class Scheduler:
         self._schedule_pass()
 
     def _recycle_runq(self) -> None:
+        # Recycling runs once per tick over every parked call — _demote
+        # is inlined here against the memoized gate states (same pair
+        # the dispatch pass resolves), saving three lookups per call.
+        runq_pop = self.runq.pop
+        gate_states = self._gate_states
+        buffers = self._buffers
+        buffered = CallState.BUFFERED
         while True:
-            call = self.runq.pop()
+            call = runq_pop()
             if call is None:
-                return
-            self._demote(call)
+                break
+            name = call.spec.name
+            gates = gate_states.get(name)
+            if gates is None:
+                self._demote(call)
+                continue
+            cong_st, quota = gates
+            if cong_st.running > 0:
+                cong_st.running -= 1
+            wd = cong_st.window_dispatches - 1.0
+            cong_st.window_dispatches = wd if wd > 0.0 else 0.0
+            bucket = quota.bucket
+            cap = bucket.capacity
+            if cap < 1.0:
+                cap = 1.0
+            tokens = bucket.tokens + 1.0
+            bucket.tokens = tokens if tokens < cap else cap
+            call.state = buffered
+            buffer = buffers.get(name)
+            if buffer is None:
+                buffer = buffers[name] = FuncBuffer(name)
+            buffer.push(call)
+            self._buffered_total += 1
 
     def kick(self) -> None:
         """Worker capacity freed: dispatch already-gated calls.
@@ -231,74 +272,105 @@ class Scheduler:
         never hoard the per-function token stream away from placeable
         ones (they would otherwise re-grab the fresh tokens every tick).
         """
-        now = self.sim.now
+        now = self.sim._now
         s_mult = float(self._s_multiplier.value)
-        # Order buffers by their head call's (criticality, deadline) key.
-        heads = sorted(
-            ((buf.head_key(), buf) for buf in self._buffers.values()
-             if len(buf) > 0),
-            key=lambda pair: pair[0])
+        # Order buffers by their head call's (criticality, deadline) key
+        # (heap internals read directly: this runs for every buffer,
+        # empty or not, every tick).
+        heads = sorted(((buf._heap[0][0], buf)
+                        for buf in self._buffers.values() if buf._heap),
+                       key=_HEAD_KEY)
+        if not heads:
+            return
+        # Pass-invariant bindings, hoisted across every function swept.
+        congestion = self.congestion
+        can_dispatch_state = congestion.can_dispatch_state
+        try_acquire = self.rate_limiter.try_acquire_quota
+        dispatch = self.workerlb.dispatch
+        runq = self.runq
+        heappop_ = heapq.heappop
+        drop_expired = self.params.drop_expired
+        park_limit = self.PARK_LIMIT
+        lookahead = self.PLACEMENT_LOOKAHEAD
+        gate_states = self._gate_states
         for _, buffer in heads:
-            self._schedule_function(buffer, now, s_mult)
-
-    def _schedule_function(self, buffer: FuncBuffer, now: float,
-                           s_mult: float) -> None:
-        name = buffer.function_name
-        placement_failures = 0
-        deferred: List[FunctionCall] = []
-        while len(buffer) > 0:
-            call = buffer.peek()
-            assert call is not None
-            if not self._pre_dispatch_checks(call, now):
-                buffer.pop()
+            # Every call in a buffer shares one function: its congestion
+            # state and quota are resolved once, then memoized — both
+            # are registered-for-life objects mutated in place.
+            name = buffer.function_name
+            gates = gate_states.get(name)
+            if gates is None:
+                gates = gate_states[name] = (
+                    congestion.state_for(name),
+                    self.rate_limiter.quota_for(name))
+            cong_st, quota = gates
+            # The per-call loop runs over the buffer's heap directly —
+            # the peek/len indirections cost more than the loop body
+            # under a full sweep.  Terminal checks keep the original
+            # order: flow first, then deadline; finalize before pop.
+            heap = buffer._heap
+            placement_failures = 0
+            deferred: List[FunctionCall] = []
+            while heap:
+                call = heap[0][1]
+                spec = call.spec
+                if call.source_level > spec.isolation_level:
+                    self.isolation_denials += 1
+                    self._finalize(call, CallOutcome.ISOLATION_DENIED)
+                    heappop_(heap)
+                    self._buffered_total -= 1
+                    continue  # terminal; next call
+                if drop_expired and now > call.start_time + spec.deadline_s:
+                    self.expired_count += 1
+                    self._finalize(call, CallOutcome.ERROR, expired=True)
+                    heappop_(heap)
+                    self._buffered_total -= 1
+                    continue  # terminal; next call
+                if not (can_dispatch_state(cong_st, now)
+                        and try_acquire(quota, now, s_mult)):
+                    self.deferred_gate_hits += 1
+                    break  # function-level rate gate: defer the rest
+                heappop_(heap)
                 self._buffered_total -= 1
-                continue  # terminal (expired/isolation); next call
-            if not self._gates_allow(call, now, s_mult):
-                self.deferred_gate_hits += 1
-                break  # function-level rate gate: defer the rest
-            buffer.pop()
-            self._buffered_total -= 1
-            self.congestion.on_dispatch(name)
-            call.state = CallState.RUNNING
-            if self.workerlb.dispatch(call):
-                self.dispatched_count += 1
-                continue
-            # Placement failed right now: park it in the pipeline for
-            # kick() to dispatch the moment a worker frees (it keeps its
-            # gate token; the next tick's recycle refunds it otherwise).
-            if not self.runq.full and len(self.runq) < self.PARK_LIMIT:
-                call.state = CallState.RUNNABLE
-                self.runq.push(call)
-                continue
-            # Pipeline full: refund and look a bounded number of calls
-            # past the (likely oversized) head before moving on.
-            placement_failures += 1
-            deferred.append(call)
-            if placement_failures > self.PLACEMENT_LOOKAHEAD:
-                break
-        for call in deferred:
-            self._demote(call)
-
-    def _pre_dispatch_checks(self, call: FunctionCall, now: float) -> bool:
-        """Terminal checks; False means the call was finalized here."""
-        if not flow_allowed(call.source_level, call.spec.isolation_level):
-            self.isolation_denials += 1
-            self._finalize(call, CallOutcome.ISOLATION_DENIED)
-            return False
-        if self.params.drop_expired and now > call.deadline_time:
-            self.expired_count += 1
-            self._finalize(call, CallOutcome.ERROR, expired=True)
-            return False
-        return True
-
-    def _gates_allow(self, call: FunctionCall, now: float,
-                     s_mult: float) -> bool:
-        name = call.function_name
-        if not self.congestion.can_dispatch(name, now):
-            return False
-        if not self.rate_limiter.try_acquire(name, now, s_mult):
-            return False
-        return True
+                # Inline congestion.on_dispatch on the resolved state.
+                cong_st.running += 1
+                cong_st.window_dispatches += 1
+                call.state = CallState.RUNNING
+                if dispatch(call):
+                    self.dispatched_count += 1
+                    continue
+                # Placement failed right now: park it in the pipeline
+                # for kick() to dispatch the moment a worker frees (it
+                # keeps its gate token; the next tick's recycle refunds
+                # it otherwise).
+                if not runq.full and len(runq) < park_limit:
+                    call.state = CallState.RUNNABLE
+                    runq.push(call)
+                    continue
+                # Pipeline full: refund and look a bounded number of
+                # calls past the (likely oversized) head before moving
+                # on.
+                placement_failures += 1
+                deferred.append(call)
+                if placement_failures > lookahead:
+                    break
+            if deferred:
+                # Inlined _demote on the already-resolved gate states:
+                # every deferred call belongs to this buffer's function.
+                bucket = quota.bucket
+                cap = bucket.capacity
+                if cap < 1.0:
+                    cap = 1.0
+                for call in deferred:
+                    if cong_st.running > 0:
+                        cong_st.running -= 1
+                    wd = cong_st.window_dispatches - 1.0
+                    cong_st.window_dispatches = wd if wd > 0.0 else 0.0
+                    tokens = bucket.tokens + 1.0
+                    bucket.tokens = tokens if tokens < cap else cap
+                    call.state = CallState.BUFFERED
+                    buffer.push(call)
+                    self._buffered_total += 1
 
     # ------------------------------------------------------------------
     # Step 3: RunQ → WorkerLB

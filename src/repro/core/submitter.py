@@ -98,12 +98,13 @@ class Submitter:
     # ------------------------------------------------------------------
     def submit(self, call: FunctionCall) -> bool:
         """Accept or throttle one call; accepted calls batch to QueueLB."""
+        now = self.sim._now
         client = call.spec.team
         stats = self._clients.setdefault(
-            client, _ClientStats(window_start=self.sim.now))
-        stats.observe(self.sim.now, self.params.spiky_ema_alpha)
+            client, _ClientStats(window_start=now))
+        stats.observe(now, self.params.spiky_ema_alpha)
 
-        if not self.client_limiter.try_acquire(client, self.sim.now):
+        if not self.client_limiter.try_acquire(client, now):
             return self._throttle(call)
         if (self.throttle_spiky_clients and self.pool == "normal"
                 and stats.ema_rate > self.params.spiky_rate_threshold):

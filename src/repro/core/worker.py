@@ -27,6 +27,7 @@ from typing import Callable, Dict, Optional, Set, Tuple
 
 from ..cluster.machine import CpuAccount, MachineSpec
 from ..sim.kernel import Simulator
+from ..sim.rng import RngStream
 from ..workloads.spec import Criticality, QuotaType
 from .call import CallOutcome, FunctionCall
 from .codedeploy import CodeVersion
@@ -90,6 +91,17 @@ class _RunningCall:
 class Worker:
     """One worker machine executing function calls."""
 
+    __slots__ = (
+        "sim", "name", "region", "namespace", "machine", "params", "jit",
+        "on_finish", "downstream_gateway", "locality_group", "code_version",
+        "cpu", "_baseline_mb", "_mem_limit_mb", "_cpu_budget",
+        "_bg_cpu_budget", "_resident_multiplier", "_resource_streams",
+        "_admit_cache", "_jit_speed_at", "_jit_speed", "_budget_by_name",
+        "_running", "_live_memory_mb", "_resident", "_resident_mb",
+        "_window_functions", "calls_started", "calls_completed",
+        "admission_rejections", "isolation_rejections", "evictions",
+        "online")
+
     def __init__(self, sim: Simulator, name: str, region: str,
                  namespace: str = "default",
                  machine: MachineSpec = MachineSpec(),
@@ -110,6 +122,18 @@ class Worker:
         self.code_version = CodeVersion(version=1, released_at=0.0)
 
         self.cpu = CpuAccount(cores=machine.cores)
+        # Admission-path constants, folded once: every product below is
+        # computed exactly as the original per-call expressions did, so
+        # the floats (and thus admission decisions) are bit-identical.
+        self._baseline_mb = params.runtime_baseline_mb
+        self._mem_limit_mb = machine.memory_mb * params.memory_headroom
+        self._cpu_budget = machine.cores * params.cpu_admission_factor
+        self._bg_cpu_budget = (self._cpu_budget *
+                               params.background_admission_fraction)
+        self._resident_multiplier = params.resident_multiplier
+        #: function name → its shared resource-sampling stream; avoids
+        #: rebuilding the f-string stream name per call (simlint SL007).
+        self._resource_streams: Dict[str, RngStream] = {}
         #: Admission scratch: (call_id, cpu_minstr, mem_mb, duration,
         #: cpu_load) computed by the last ``can_admit`` so ``execute``
         #: does not recompute it on the accept path.
@@ -118,6 +142,10 @@ class Worker:
         #: worker many times within one scheduling sweep).
         self._jit_speed_at = -1.0
         self._jit_speed = 1.0
+        #: function name → admission CPU budget.  Both budgets and the
+        #: spec's quota class are fixed after construction, so the
+        #: opportunistic/LOW classification collapses to one dict get.
+        self._budget_by_name: Dict[str, float] = {}
         self._running: Dict[int, _RunningCall] = {}
         self._live_memory_mb = 0.0
         #: LRU of resident functions: name → resident MB.
@@ -167,18 +195,21 @@ class Worker:
     def can_admit(self, call: FunctionCall) -> bool:
         if not self.online:
             return False
-        cpu_minstr, mem_mb, exec_s = self._resources(call)
+        resources = call.resources
+        if resources is None:
+            resources = self._resources(call)
+        cpu_minstr, mem_mb, exec_s = resources
         machine = self.machine
-        params = self.params
         if len(self._running) >= machine.threads:
             return False
         spec = call.spec
+        name = spec.name
         resident_cost = 0.0
-        if spec.name not in self._resident:
-            resident_cost = spec.code_size_mb * params.resident_multiplier
-        projected_mem = (params.runtime_baseline_mb + self._resident_mb +
+        if name not in self._resident:
+            resident_cost = spec.code_size_mb * self._resident_multiplier
+        projected_mem = (self._baseline_mb + self._resident_mb +
                          self._live_memory_mb) + mem_mb + resident_cost
-        if projected_mem > machine.memory_mb * params.memory_headroom:
+        if projected_mem > self._mem_limit_mb:
             return False
         # CPU admission: keep projected steady load within the core budget.
         now = self.sim._now
@@ -190,10 +221,13 @@ class Worker:
                                                    else 1e-6))
         duration = exec_s if exec_s > cpu_s else cpu_s
         cpu_load = cpu_s / duration
-        budget = machine.cores * params.cpu_admission_factor
-        if (spec.quota_type is QuotaType.OPPORTUNISTIC
-                or spec.criticality <= Criticality.LOW):
-            budget *= params.background_admission_fraction
+        budget = self._budget_by_name.get(name)
+        if budget is None:
+            budget = (self._bg_cpu_budget
+                      if (spec.quota_type is QuotaType.OPPORTUNISTIC
+                          or spec.criticality <= Criticality.LOW)
+                      else self._cpu_budget)
+            self._budget_by_name[name] = budget
         if self.cpu.load + cpu_load > budget:
             return False
         self._admit_cache = (call.call_id, cpu_minstr, mem_mb, duration,
@@ -212,7 +246,8 @@ class Worker:
         "workers also ensure that a function running in a zone follows
         these properties").
         """
-        if not flow_allowed(call.source_level, call.spec.isolation_level):
+        # Inlined flow_allowed() — this runs once per admission probe.
+        if call.source_level > call.spec.isolation_level:
             self.isolation_rejections += 1
             self._finish_now(call, CallOutcome.ISOLATION_DENIED)
             return True  # terminal: do not retry elsewhere
@@ -221,7 +256,7 @@ class Worker:
             self.admission_rejections += 1
             return False
 
-        now = self.sim.now
+        now = self.sim._now
         cache = self._admit_cache
         if cache is not None and cache[0] == call.call_id:
             _, cpu_minstr, mem_mb, duration, cpu_load = cache
@@ -233,15 +268,16 @@ class Worker:
             cpu_load = self._cpu_seconds(cpu_minstr, speed) / duration
         # Residual universal-worker cost: first call of a function loads
         # its (pre-pushed) code from local SSD.
-        if call.function_name not in self._resident:
+        name = call.spec.name
+        if name not in self._resident:
             duration += self.params.code_load_s
-            self._make_resident(call.function_name, call.spec.code_size_mb)
+            self._make_resident(name, call.spec.code_size_mb)
         else:
-            self._resident.move_to_end(call.function_name)
+            self._resident.move_to_end(name)
 
         self.cpu.on_start(now, cpu_load)
         self._live_memory_mb += mem_mb
-        self._window_functions.add(call.function_name)
+        self._window_functions.add(name)
         call.worker_name = self.name
         call.dispatch_time = now if call.dispatch_time is None \
             else call.dispatch_time
@@ -257,7 +293,7 @@ class Worker:
         rc = self._running.pop(call_id, None)
         if rc is None:
             return
-        now = self.sim.now
+        now = self.sim._now
         self.cpu.on_finish(now, rc.cpu_load)
         self._live_memory_mb -= rc.memory_mb
         self.calls_completed += 1
@@ -278,7 +314,12 @@ class Worker:
     # ------------------------------------------------------------------
     def _resources(self, call: FunctionCall) -> Tuple[float, float, float]:
         if call.resources is None:
-            rng = self.sim.rng.stream(f"resources/{call.spec.name}")
+            name = call.spec.name
+            rng = self._resource_streams.get(name)
+            if rng is None:
+                rng = self._resource_streams[name] = \
+                    self.sim.rng.stream(  # simlint: disable=SL007 -- memo miss
+                        f"resources/{name}")
             call.resources = call.spec.profile.sample(
                 rng, self.machine.core_mips)
         return call.resources

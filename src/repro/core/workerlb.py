@@ -36,9 +36,10 @@ class WorkerLB:
         self.n_groups_fn = n_groups_fn
         self.extra_probes = extra_probes
         self.rng = sim.rng.stream(rng_name or f"workerlb/{region}")
-        # Draws go straight through random.Random; the stream wrapper adds
-        # a call frame per probe on the hottest dispatch path.
-        self._choice = self.rng._rng.choice
+        # Draws bypass random.Random.choice: the probe loop below inlines
+        # Random._randbelow_with_getrandbits bit-for-bit, so only the raw
+        # getrandbits source is needed (same stream consumption).
+        self._getrandbits = self.rng._rng.getrandbits
         self.dispatch_count = 0
         self.reject_count = 0
         self.out_of_group_dispatches = 0
@@ -48,6 +49,10 @@ class WorkerLB:
         self.group_epoch_fn = group_epoch_fn
         self._groups_cache_key: Optional[object] = None
         self._groups: Dict[int, List[Worker]] = {}
+        # Epoch-path cache key unpacked into two ints so the dispatch
+        # fast path compares without building a tuple.
+        self._ck_groups = -1
+        self._ck_epoch = -1
 
     # ------------------------------------------------------------------
     def group_workers(self, group: int) -> List[Worker]:
@@ -60,10 +65,12 @@ class WorkerLB:
         # Workers carry their group id (set by the Locality Optimizer);
         # rebuild the index when assignments change.
         if self.group_epoch_fn is not None:
-            key = (n_groups, self.group_epoch_fn())
-        else:
-            key = hash(
-                (n_groups,) + tuple(w.locality_group for w in self.workers))
+            epoch = self.group_epoch_fn()
+            if n_groups != self._ck_groups or epoch != self._ck_epoch:
+                self._rebuild_groups(n_groups, epoch)
+            return
+        key = hash(
+            (n_groups,) + tuple(w.locality_group for w in self.workers))
         if key == self._groups_cache_key:
             return
         groups: Dict[int, List[Worker]] = {}
@@ -71,6 +78,15 @@ class WorkerLB:
             groups.setdefault(w.locality_group % n_groups, []).append(w)
         self._groups = groups
         self._groups_cache_key = key
+
+    def _rebuild_groups(self, n_groups: int, epoch: int) -> None:
+        groups: Dict[int, List[Worker]] = {}
+        for w in self.workers:
+            groups.setdefault(w.locality_group % n_groups, []).append(w)
+        self._groups = groups
+        self._ck_groups = n_groups
+        self._ck_epoch = epoch
+        self._groups_cache_key = (n_groups, epoch)
 
     # ------------------------------------------------------------------
     def dispatch(self, call: FunctionCall) -> bool:
@@ -83,37 +99,126 @@ class WorkerLB:
         spirit as the Locality Optimizer moving workers between groups
         under load imbalance (§4.5.2), but at per-call granularity.
         """
-        group = self.group_of_function(call.function_name)
-        candidates = self.group_workers(group)
-        if not candidates:
-            candidates = self.workers
-        order = self._two_choices_order(candidates)
-        for worker in order:
-            if worker.execute(call):
-                self.dispatch_count += 1
-                return True
-        if len(candidates) < len(self.workers):
-            for worker in self._two_choices_order(self.workers):
+        epoch_fn = self.group_epoch_fn
+        if epoch_fn is not None:
+            # Inlined _refresh_groups fast path: one epoch read and an
+            # int compare per dispatch.  The group *count* is re-read
+            # only when the epoch advances — the Locality Optimizer's
+            # count is fixed after construction, while every worker
+            # (re)assignment bumps the epoch.
+            epoch = epoch_fn()
+            if epoch != self._ck_epoch:
+                n_groups = self.n_groups_fn()
+                if n_groups < 1:
+                    n_groups = 1
+                self._rebuild_groups(n_groups, epoch)
+        else:
+            self._refresh_groups()
+        workers = self.workers
+        group = self.group_of_function(call.spec.name)
+        candidates = self._groups.get(group) or workers
+        # _two_choices_order is inlined below (identical draw sequence);
+        # the loop runs once over the locality group, then — only if
+        # every in-group probe refused — once more over the whole pool.
+        getrandbits = self._getrandbits
+        extra_probes = self.extra_probes
+        pool = candidates
+        spilled = False
+        while True:
+            n = len(pool)
+            if n == 1:
+                order = pool
+            else:
+                k = n.bit_length()
+                r = getrandbits(k)
+                while r >= n:
+                    r = getrandbits(k)
+                a = pool[r]
+                r = getrandbits(k)
+                while r >= n:
+                    r = getrandbits(k)
+                b = pool[r]
+                while b is a:
+                    r = getrandbits(k)
+                    while r >= n:
+                        r = getrandbits(k)
+                    b = pool[r]
+                # Worker.load_score() inlined for both probes (identical
+                # arithmetic; no subclass overrides it).
+                m = a.machine
+                sa = len(a._running) / m.threads
+                x = a.cpu.load / m.cores
+                if x > sa:
+                    sa = x
+                x = (a._baseline_mb + a._resident_mb +
+                     a._live_memory_mb) / m.memory_mb
+                if x > sa:
+                    sa = x
+                m = b.machine
+                sb = len(b._running) / m.threads
+                x = b.cpu.load / m.cores
+                if x > sb:
+                    sb = x
+                x = (b._baseline_mb + b._resident_mb +
+                     b._live_memory_mb) / m.memory_mb
+                if x > sb:
+                    sb = x
+                if sa <= sb:
+                    order = [a, b]
+                else:
+                    order = [b, a]
+                for _ in range(extra_probes):
+                    r = getrandbits(k)
+                    while r >= n:
+                        r = getrandbits(k)
+                    extra = pool[r]
+                    if extra not in order:
+                        order.append(extra)
+            for worker in order:
                 if worker.execute(call):
                     self.dispatch_count += 1
-                    self.out_of_group_dispatches += 1
+                    if spilled:
+                        self.out_of_group_dispatches += 1
                     return True
-        self.reject_count += 1
-        return False
+            if spilled or len(candidates) >= len(workers):
+                self.reject_count += 1
+                return False
+            pool = workers
+            spilled = True
 
     def _two_choices_order(self, candidates: List[Worker]) -> List[Worker]:
-        """Power-of-two choice, then a few extra probes as fallback."""
-        if len(candidates) == 1:
+        """Power-of-two choice, then a few extra probes as fallback.
+
+        ``random.choice`` is replicated inline (``seq[_randbelow(n)]``
+        with the same getrandbits rejection loop) — the two wrapper
+        frames it costs per draw dominate this method's runtime, and
+        the stream must advance identically for digest stability.
+        """
+        n = len(candidates)
+        if n == 1:
             return list(candidates)
-        choice = self._choice
-        a = choice(candidates)
-        b = choice(candidates)
+        getrandbits = self._getrandbits
+        k = n.bit_length()
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        a = candidates[r]
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        b = candidates[r]
         while b is a:
-            b = choice(candidates)
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            b = candidates[r]
         first, second = (a, b) if a.load_score() <= b.load_score() else (b, a)
         order = [first, second]
         for _ in range(self.extra_probes):
-            extra = choice(candidates)
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            extra = candidates[r]
             if extra not in order:
                 order.append(extra)
         return order

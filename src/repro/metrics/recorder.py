@@ -52,6 +52,28 @@ class MetricsRegistry:
         return self._sketches[name]
 
     # ------------------------------------------------------------------
+    # Bound handles: components resolve a metric once at init and keep
+    # the object; the per-event path then calls the handle directly with
+    # zero registry involvement.  Handles stay valid across
+    # snapshot/merge *reads* (those never replace the stored objects),
+    # but a component must re-bind if it swaps registries.
+    def bind_counter(self, name: str, window: Optional[float] = None) -> Counter:
+        """Resolve-once handle for a hot-path counter (same object as
+        :meth:`counter`; the separate name marks intent for simlint)."""
+        return self.counter(name, window)
+
+    def bind_gauge(self, name: str, initial: float = 0.0,
+                   t0: float = 0.0) -> Gauge:
+        return self.gauge(name, initial, t0)
+
+    def bind_distribution(self, name: str) -> Distribution:
+        return self.distribution(name)
+
+    def bind_sketch(self, name: str,
+                    quantiles: Sequence[float] = (0.5, 0.95, 0.99)) -> P2Sketch:
+        return self.sketch(name, quantiles)
+
+    # ------------------------------------------------------------------
     def has_counter(self, name: str) -> bool:
         return name in self._counters
 

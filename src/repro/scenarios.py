@@ -77,7 +77,8 @@ def build_dayrun(seed: int = 7, total_rate: float = 8.0,
                  opportunistic_fraction: float = 0.6,
                  peak_to_trough: float = 4.3,
                  target_utilization: float = 0.70,
-                 overrides: Optional[dict] = None) -> DayRun:
+                 overrides: Optional[dict] = None,
+                 profiler: Optional[object] = None) -> DayRun:
     """Build and run the shared full-day simulation.
 
     The default invocation reproduces the paper-shaped workload used by
@@ -87,8 +88,14 @@ def build_dayrun(seed: int = 7, total_rate: float = 8.0,
     mix, and the TAO downstream stack.  ``overrides`` replaces fields on
     the (possibly overridden) :class:`PlatformParams` — the sweep engine
     uses it for ablation flags like ``{"time_shifting": False}``.
+
+    ``profiler`` attaches a :class:`repro.profile.ProfileRecorder` to the
+    simulator before anything is scheduled; the run behaves identically
+    (bit-identical trace digest) but attributes wall time per component.
     """
     sim = Simulator(seed=seed)
+    if profiler is not None:
+        sim.profiler = profiler
     diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=peak_to_trough)
     population = build_population(
         n_functions=n_functions, total_rate=total_rate,

@@ -38,6 +38,12 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_executed = 0
+        #: Optional time-attribution recorder (see :mod:`repro.profile`).
+        #: When set, :meth:`run`/:meth:`run_until` delegate the dispatch
+        #: loop to it so per-event timing never burdens the fast loops
+        #: below.  The profiled loop replays identical queue semantics,
+        #: so trace digests are bit-identical either way.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -105,6 +111,9 @@ class Simulator:
         """
         if time < self._now:
             raise SimulationError(f"run_until({time}) is in the past")
+        if self.profiler is not None:
+            self.profiler.run_until(self, time)
+            return
         self._stopped = False
         self._running = True
         queue = self._queue
@@ -128,6 +137,9 @@ class Simulator:
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the event queue drains (or ``max_events`` executed)."""
+        if self.profiler is not None:
+            self.profiler.run(self, max_events)
+            return
         self._stopped = False
         self._running = True
         queue = self._queue
@@ -169,6 +181,10 @@ class PeriodicTask:
         self._callback = callback
         self._jitter = jitter
         self._rng_stream = rng_stream
+        # Jittered tasks draw per firing; resolve the stream once here
+        # (the stream's seed depends only on its name, so binding at
+        # init draws the same sequence as looking it up per firing).
+        self._jitter_rng = sim.rng.stream(rng_stream) if jitter > 0 else None
         self._handle: Optional[ScheduledEvent] = None
         self._cancelled = False
         self.fire_count = 0
@@ -176,11 +192,11 @@ class PeriodicTask:
     def _schedule_at(self, time: float) -> None:
         if self._cancelled:
             return
-        offset = 0.0
-        if self._jitter > 0:
-            offset = self._sim.rng.stream(self._rng_stream).uniform(
-                -self._jitter, self._jitter)
-        when = max(self._sim.now, time + offset)
+        if self._jitter_rng is not None:
+            offset = self._jitter_rng.uniform(-self._jitter, self._jitter)
+            when = max(self._sim._now, time + offset)
+        else:
+            when = max(self._sim._now, time)
         self._handle = self._sim.call_at(when, self._fire)
 
     def _fire(self) -> None:

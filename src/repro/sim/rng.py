@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Any, Dict, List, Sequence, TypeVar
+from bisect import bisect
+from itertools import accumulate
+from typing import Any, Callable, Dict, List, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -78,6 +80,32 @@ class RngStream:
 
     def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
         return self._rng.choices(items, weights=weights, k=1)[0]
+
+    def weighted_chooser(self, items: Sequence[T],
+                         weights: Sequence[float]) -> Callable[[], T]:
+        """Precomputed closure equivalent to :meth:`weighted_choice`.
+
+        ``random.Random.choices`` rebuilds the cumulative-weight table on
+        every call; callers picking from a *fixed* distribution per draw
+        (client-region choice, QueueLB routing rows) pay that repeatedly.
+        The returned closure draws exactly one ``random()`` and bisects a
+        table built once — the same algorithm ``choices`` uses
+        internally, so the value stream is bit-identical draw for draw.
+        """
+        if len(items) != len(weights):
+            raise ValueError("items and weights must have the same length")
+        cum = list(accumulate(weights))
+        total = cum[-1] + 0.0
+        if total <= 0.0:
+            raise ValueError("total of weights must be greater than zero")
+        hi = len(items) - 1
+        random_ = self._rng.random
+        items = list(items)
+
+        def choose() -> T:
+            return items[bisect(cum, random_() * total, 0, hi)]
+
+        return choose
 
     def poisson(self, lam: float) -> int:
         """Poisson sample via inversion (small lam) or normal approx (large)."""

@@ -1,0 +1,133 @@
+"""Coalesced periodic samplers: one kernel event per distinct due time.
+
+A platform fans a dozen fixed-interval control loops into the kernel
+heap as independent :class:`~.kernel.PeriodicTask` events — RIM scans,
+AIMD window rolls, utilization updates, lease extension, per-platform
+memory/distinct-function samplers.  Unjittered tasks share phases by
+construction (most are armed at t=0 with round intervals), so the same
+instants recur across tasks and every shared instant pays one heap
+push + pop *per task*.  The :class:`SamplerHub` registers these loops
+as lightweight members and keeps exactly **one** kernel event armed at
+the earliest pending due time; when it fires, every member due at that
+instant runs from the single pop.
+
+Determinism contract
+--------------------
+Member callbacks must run in exactly the relative order the kernel
+would have used, or same-time control decisions (and therefore trace
+digests) change.  The kernel breaks same-time ties by arming sequence
+number; the hub mirrors that with a hub-local ``arm_seq`` assigned
+when a member is (re-)armed, and fires due members in ``arm_seq``
+order.  Matching :class:`~.kernel.PeriodicTask`, a member's next
+firing is armed *after* its callback returns, and the next due time is
+``fire_time + interval`` computed with the same float arithmetic.
+Jittered tasks draw a per-firing offset and never share instants;
+they stay on :meth:`~.kernel.Simulator.every`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional
+
+from .kernel import ScheduledEvent, SimulationError, Simulator
+
+__all__ = ["SamplerHub", "SamplerTask"]
+
+
+class SamplerTask:
+    """Handle for one member loop; API-compatible with PeriodicTask."""
+
+    __slots__ = ("interval", "fire_count", "_callback", "_hub", "_next_due",
+                 "_arm_seq", "_cancelled")
+
+    def __init__(self, hub: "SamplerHub", interval: float,
+                 callback: Callable[[], None], next_due: float,
+                 arm_seq: int) -> None:
+        self._hub = hub
+        self.interval = interval
+        self._callback = callback
+        self._next_due = next_due
+        self._arm_seq = arm_seq
+        self._cancelled = False
+        self.fire_count = 0
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+
+class SamplerHub:
+    """Batches unjittered periodic tasks behind a single kernel event."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._members: List[SamplerTask] = []
+        self._arm_counter = 0
+        self._event: Optional[ScheduledEvent] = None
+        self._armed_for = math.inf
+        #: Kernel events saved versus one PeriodicTask per member
+        #: (``sum(len(batch) - 1)`` over firings).
+        self.events_coalesced = 0
+
+    # ------------------------------------------------------------------
+    def every(self, interval: float, callback: Callable[[], None],
+              start: Optional[float] = None) -> SamplerTask:
+        """Register a repeating member; same contract as Simulator.every
+        with ``jitter=0`` (first firing at ``max(start or now, now)``)."""
+        if interval <= 0:
+            raise SimulationError(
+                f"interval must be positive, got {interval}")
+        first = self._sim._now if start is None else start
+        first = max(first, self._sim._now)
+        member = SamplerTask(self, interval, callback, first,
+                             self._next_arm_seq())
+        self._members.append(member)
+        self._rearm()
+        return member
+
+    def _next_arm_seq(self) -> int:
+        seq = self._arm_counter
+        self._arm_counter = seq + 1
+        return seq
+
+    # ------------------------------------------------------------------
+    def _fire(self) -> None:
+        now = self._sim._now
+        due = [m for m in self._members
+               if not m._cancelled and m._next_due <= now]
+        due.sort(key=lambda m: m._arm_seq)
+        for member in due:
+            if member._cancelled:
+                # Cancelled by an earlier member in this same batch —
+                # the kernel's lazy deletion would have skipped it too.
+                continue
+            member.fire_count += 1
+            member._callback()
+            if not member._cancelled:
+                # Mirror PeriodicTask._fire: re-arm after the callback,
+                # next due computed from the fire time.
+                member._next_due = now + member.interval
+                member._arm_seq = self._next_arm_seq()
+        if due:
+            self.events_coalesced += len(due) - 1
+        self._event = None
+        self._armed_for = math.inf
+        self._rearm()
+
+    def _rearm(self) -> None:
+        nxt = math.inf
+        for m in self._members:
+            if not m._cancelled and m._next_due < nxt:
+                nxt = m._next_due
+        if nxt is math.inf:
+            return
+        if self._event is not None:
+            if self._armed_for <= nxt:
+                return
+            self._event.cancel()
+        self._event = self._sim.call_at(nxt, self._fire)
+        self._armed_for = nxt
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for m in self._members if not m._cancelled)

@@ -28,7 +28,7 @@ def default_lint_root() -> Path:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="determinism & sim-safety static analysis (SL001-SL006)")
+        description="determinism & sim-safety static analysis (SL001-SL007)")
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint "
                              "(default: the repro package tree)")

@@ -355,6 +355,73 @@ class EventHandleMisuse(Rule):
                 and arg.operand.value > 0)
 
 
+class PerEventMetricLookup(Rule):
+    """SL007 — per-event metric/stream name lookups on the hot path.
+
+    Building a metric or RNG-stream name with an f-string per event, or
+    re-resolving ``registry.counter(...)`` inside a loop of a sim-clock
+    handler, pays a string build plus a dict lookup for every simulated
+    event — the exact overhead the PR 4 profiling round attributed to
+    the component layer.  Handles are stable objects: resolve them once
+    at component init (or memoize per name) and reuse them.
+    """
+
+    id = "SL007"
+    severity = Severity.WARNING
+    title = "per-event metric/stream lookup"
+    fix_hint = ("bind a handle at component init (registry.bind_*() or a "
+                "per-name dict filled once) and reuse it per event")
+    packages = SIM_PACKAGES
+
+    #: Registry resolution methods on MetricsRegistry / RngRegistry.
+    _LOOKUPS = frozenset({"counter", "gauge", "histogram", "timeseries",
+                          "stream"})
+    #: Functions that run once per component, where resolving is the fix.
+    _INIT_FUNCS = frozenset({"__init__", "__post_init__", "__set_name__"})
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._LOOKUPS
+                    and node.args):
+                continue
+            fn = ctx.enclosing_function(node)
+            if fn is None:
+                continue  # module/class level runs once per import
+            if (isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and fn.name in self._INIT_FUNCS):
+                continue  # resolving at construction IS the fix
+            name = node.func.attr
+            if isinstance(node.args[0], ast.JoinedStr):
+                yield ctx.finding(
+                    self, node,
+                    f"{name}() name built with an f-string inside "
+                    f"{self._describe(fn)} — the string is rebuilt and "
+                    "re-resolved on every invocation")
+            elif self._in_loop(ctx, node, fn):
+                yield ctx.finding(
+                    self, node,
+                    f"{name}() resolved inside a loop in "
+                    f"{self._describe(fn)} — hoist the handle out of "
+                    "the loop (or bind it at init)")
+
+    @staticmethod
+    def _describe(fn: ast.AST) -> str:
+        if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return f"{fn.name}()"
+        return "a lambda"
+
+    @staticmethod
+    def _in_loop(ctx: LintContext, node: ast.AST, fn: ast.AST) -> bool:
+        cur = ctx.parent(node)
+        while cur is not None and cur is not fn:
+            if isinstance(cur, (ast.For, ast.AsyncFor, ast.While)):
+                return True
+            cur = ctx.parent(cur)
+        return False
+
+
 #: The registry walked by the CLI; order is display order.
 ALL_RULES = (
     ModuleMutableIdState(),
@@ -363,6 +430,7 @@ ALL_RULES = (
     FloatTimeAccumulation(),
     PickleUnsafe(),
     EventHandleMisuse(),
+    PerEventMetricLookup(),
 )
 
 

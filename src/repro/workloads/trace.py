@@ -11,7 +11,7 @@ import csv
 import hashlib
 from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import List
+from typing import Any, List, Tuple
 
 
 @dataclass(frozen=True)
@@ -52,25 +52,86 @@ class CallTrace:
         return self.region_submitted != self.region_executed
 
 
+def trace_from_call(call: Any, outcome_name: str) -> CallTrace:
+    """Build a :class:`CallTrace` from a finished call object.
+
+    Duck-typed over :class:`repro.core.call.FunctionCall` (this module
+    must not import ``repro.core``): any object with the call lifecycle
+    attributes works.  Centralizing the field mapping here lets
+    :meth:`TraceLog.add_call` defer it off the per-completion hot path —
+    the call object is stored raw and formatted only when the log is
+    actually read (digest, CSV, analysis iteration).
+    """
+    resources = call.resources or (0.0, 0.0, 0.0)
+    spec = call.spec
+    return CallTrace(
+        call_id=call.call_id,
+        function=call.function_name,
+        trigger=spec.trigger.value,
+        criticality=call.criticality,
+        quota_type=spec.quota_type.value,
+        submit_time=call.submit_time,
+        start_time_requested=call.start_time,
+        dispatch_time=(call.dispatch_time
+                       if call.dispatch_time is not None else -1.0),
+        finish_time=(call.finish_time
+                     if call.finish_time is not None else -1.0),
+        region_submitted=call.region_submitted,
+        region_executed=call.scheduler_region or "",
+        worker=call.worker_name or "",
+        outcome=outcome_name,
+        cpu_minstr=resources[0],
+        memory_mb=resources[1],
+        exec_time_s=resources[2],
+        attempts=call.attempts + 1,
+    )
+
+
 class TraceLog:
-    """An append-only collection of :class:`CallTrace` with CSV round-trip."""
+    """An append-only collection of :class:`CallTrace` with CSV round-trip.
+
+    The write path is two-speed: :meth:`add` appends a pre-built
+    :class:`CallTrace`, while :meth:`add_call` (the platform's per-call
+    path) appends the raw ``(call, outcome)`` pair and defers the
+    17-field dataclass construction until the log is first *read*.
+    Finalized calls never mutate afterwards, so late formatting yields
+    byte-identical traces — ``digest()`` is the regression test for
+    that.
+    """
 
     def __init__(self) -> None:
         self._traces: List[CallTrace] = []
+        #: Deferred (call, outcome_name) pairs not yet formatted.
+        self._pending: List[Tuple[Any, str]] = []
 
     def __len__(self) -> int:
-        return len(self._traces)
+        return len(self._traces) + len(self._pending)
 
     def __iter__(self):
+        self._materialize()
         return iter(self._traces)
 
     def add(self, trace: CallTrace) -> None:
+        if self._pending:
+            self._materialize()
         self._traces.append(trace)
 
+    def add_call(self, call: Any, outcome_name: str) -> None:
+        """Record a finished call without formatting it yet."""
+        self._pending.append((call, outcome_name))
+
+    def _materialize(self) -> None:
+        if self._pending:
+            self._traces.extend(
+                trace_from_call(c, o) for c, o in self._pending)
+            self._pending.clear()
+
     def completed(self) -> List[CallTrace]:
+        self._materialize()
         return [t for t in self._traces if t.outcome == "ok"]
 
     def for_function(self, function: str) -> List[CallTrace]:
+        self._materialize()
         return [t for t in self._traces if t.function == function]
 
     def digest(self) -> str:
@@ -81,6 +142,7 @@ class TraceLog:
         process boundaries.  The field tuple matches the historical
         ``bench_speed.trace_digest`` so committed baselines stay valid.
         """
+        self._materialize()
         h = hashlib.sha256()
         for t in self._traces:
             h.update(repr((t.call_id, t.function, t.submit_time,
@@ -92,6 +154,7 @@ class TraceLog:
         return h.hexdigest()
 
     def save_csv(self, path: Path) -> None:
+        self._materialize()
         path = Path(path)
         names = [f.name for f in fields(CallTrace)]
         with path.open("w", newline="") as fh:

@@ -1,0 +1,110 @@
+"""SamplerHub: coalesced periodic samplers must replay the kernel's
+same-time ordering exactly — the hub is a pure event-count optimization,
+never a behavior change."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.sampler import SamplerHub
+
+
+def record_firings(timers, sim, specs, until):
+    """Run ``specs = [(interval, start, tag), ...]`` and log firings."""
+    log = []
+    for interval, start, tag in specs:
+        def cb(t=None, tag=tag):
+            log.append((sim.now, tag))
+        timers.every(interval, cb, start=start)
+    sim.run_until(until)
+    return log
+
+
+SPECS = [
+    (10.0, None, "a"),      # t=0 phase, like the platform samplers
+    (10.0, None, "b"),      # shares every instant with "a"
+    (5.0, None, "c"),       # shares every other instant
+    (7.0, 3.0, "d"),        # offset phase, collides at t=17, 31, ...
+]
+
+
+class TestHubMatchesKernel:
+    def test_firing_sequence_identical_to_sim_every(self):
+        sim_plain = Simulator(seed=3)
+        plain = record_firings(sim_plain, sim_plain, SPECS, until=200.0)
+
+        sim_hub = Simulator(seed=3)
+        hub = SamplerHub(sim_hub)
+        hubbed = record_firings(hub, sim_hub, SPECS, until=200.0)
+
+        assert hubbed == plain
+        assert plain, "expected firings in the horizon"
+
+    def test_coalescing_saves_events(self):
+        sim_plain = Simulator(seed=3)
+        record_firings(sim_plain, sim_plain, SPECS, until=200.0)
+        plain_events = sim_plain.events_executed
+
+        sim_hub = Simulator(seed=3)
+        hub = SamplerHub(sim_hub)
+        record_firings(hub, sim_hub, SPECS, until=200.0)
+
+        assert hub.events_coalesced > 0
+        assert (sim_hub.events_executed
+                == plain_events - hub.events_coalesced)
+
+    def test_cancel_mid_run_matches_kernel(self):
+        def run(timers, sim):
+            log = []
+            tasks = {}
+
+            def make(tag):
+                def cb():
+                    log.append((sim.now, tag))
+                    if tag == "killer" and sim.now >= 20.0:
+                        tasks["victim"].cancel()
+                return cb
+
+            tasks["victim"] = timers.every(5.0, make("victim"))
+            tasks["killer"] = timers.every(10.0, make("killer"))
+            sim.run_until(60.0)
+            return log
+
+        sim_plain = Simulator(seed=1)
+        plain = run(sim_plain, sim_plain)
+        sim_hub = Simulator(seed=1)
+        hub_log = run(SamplerHub(sim_hub), sim_hub)
+        assert hub_log == plain
+        assert not any(t > 20.0 and tag == "victim" for t, tag in hub_log)
+
+
+class TestHubApi:
+    def test_rejects_nonpositive_interval(self):
+        sim = Simulator(seed=0)
+        hub = SamplerHub(sim)
+        with pytest.raises(SimulationError):
+            hub.every(0.0, lambda: None)
+
+    def test_len_counts_live_members(self):
+        sim = Simulator(seed=0)
+        hub = SamplerHub(sim)
+        t1 = hub.every(5.0, lambda: None)
+        hub.every(7.0, lambda: None)
+        assert len(hub) == 2
+        t1.cancel()
+        assert len(hub) == 1
+
+    def test_start_in_past_clamps_to_now(self):
+        sim = Simulator(seed=0)
+        hub = SamplerHub(sim)
+        fired = []
+        sim.call_after(10.0, lambda: hub.every(
+            5.0, lambda: fired.append(sim.now), start=0.0))
+        sim.run_until(21.0)
+        assert fired[0] == 10.0
+
+    def test_fire_count_tracks_member(self):
+        sim = Simulator(seed=0)
+        hub = SamplerHub(sim)
+        task = hub.every(4.0, lambda: None)
+        sim.run_until(10.0)
+        assert task.fire_count == 3  # t = 0, 4, 8

@@ -1,0 +1,23 @@
+"""Fixture: per-event metric/stream lookups (SL007 true positives)."""
+
+
+class Handler:
+    def __init__(self, sim, metrics):
+        self.sim = sim
+        self.metrics = metrics
+
+    def on_event(self, call):
+        #: Name rebuilt + re-resolved for every simulated event.
+        self.metrics.counter(f"calls.{call.name}").add(self.sim.now, 1)
+        self.metrics.gauge(f"load.{call.region}").set(self.sim.now, 0.5)
+        rng = self.sim.rng.stream(f"resources/{call.name}")
+        return rng
+
+    def sample(self, workers):
+        for w in workers:
+            #: Constant name, but the registry dict lookup runs once per
+            #: worker per sample instead of once at init.
+            self.metrics.gauge("worker.memory_mb").set(self.sim.now, w.mem)
+        while workers:
+            self.metrics.histogram("worker.load").observe(
+                self.sim.now, workers.pop().load)

@@ -1,0 +1,24 @@
+"""Fixture: handle binding done right (SL007 true negatives)."""
+
+RATE_NAMES = [f"calls.{kind}" for kind in ("ok", "error")]
+
+
+class Handler:
+    def __init__(self, sim, metrics, names):
+        self.sim = sim
+        #: Resolving (even with f-strings) at construction is the fix.
+        self.calls = metrics.counter(f"calls.{sim.region}")
+        self.mem_gauge = metrics.gauge("worker.memory_mb")
+        self.per_name = {n: metrics.counter(f"calls.{n}") for n in names}
+        self.rng = sim.rng.stream(f"handler/{sim.region}")
+
+    def on_event(self, call):
+        #: Bound handles: no name build, no registry lookup per event.
+        self.calls.add(self.sim.now, 1)
+        self.per_name[call.name].add(self.sim.now, 1)
+        return self.rng.random()
+
+    def sample(self, workers):
+        gauge = self.mem_gauge
+        for w in workers:
+            gauge.set(self.sim.now, w.mem)

@@ -18,6 +18,7 @@ CASES = {
     "SL004": ("core/bad_sl004.py", 3),
     "SL005": ("sweep/bad_sl005.py", 3),
     "SL006": ("core/bad_sl006.py", 3),
+    "SL007": ("core/bad_sl007.py", 4),
 }
 
 GOOD = {
@@ -27,6 +28,7 @@ GOOD = {
     "SL004": "core/good_sl004.py",
     "SL005": "sweep/good_sl005.py",
     "SL006": "core/good_sl006.py",
+    "SL007": "core/good_sl007.py",
 }
 
 SUPPRESSED = {
@@ -36,6 +38,7 @@ SUPPRESSED = {
     "SL004": "core/suppressed_sl004.py",
     "SL005": "sweep/suppressed_sl005.py",
     "SL006": "core/suppressed_sl006.py",
+    "SL007": "core/suppressed_sl007.py",
 }
 
 
@@ -93,9 +96,9 @@ class TestSuppressions:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert sorted(rules_by_id()) == [
-            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006"]
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007"]
 
     def test_every_rule_documents_itself(self):
         for rule in ALL_RULES:
