@@ -22,6 +22,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform as py_platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -38,6 +41,34 @@ from conftest import build_dayrun  # noqa: E402
 
 FULL_HORIZON_S = 3600.0
 QUICK_HORIZON_S = 600.0
+
+
+def provenance() -> dict:
+    """Machine/source context stamped into every appended record.
+
+    Throughput numbers are only comparable on the same machine against
+    the same source; the git short hash, CPU count, and interpreter
+    version let a reader (and the --check gate's audience) judge whether
+    two records are actually comparable.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True, timeout=10)
+        git_rev = out.stdout.strip() if out.returncode == 0 else None
+        if git_rev:
+            dirty = subprocess.run(
+                ["git", "status", "--porcelain", "-uno"], cwd=REPO_ROOT,
+                capture_output=True, text=True, timeout=10)
+            if dirty.returncode == 0 and dirty.stdout.strip():
+                git_rev += "-dirty"
+    except OSError:
+        git_rev = None
+    return {
+        "git": git_rev or None,
+        "cpu_count": os.cpu_count(),
+        "python": py_platform.python_version(),
+    }
 
 
 def trace_digest(platform) -> str:
@@ -61,6 +92,7 @@ def run_benchmark(mode: str, label: str = "") -> dict:
         "events_per_sec": round(sim.events_executed / wall_s, 1),
         "n_traces": len(platform.traces),
         "trace_digest": trace_digest(platform),
+        **provenance(),
     }
 
 

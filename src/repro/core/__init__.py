@@ -36,6 +36,7 @@ from .scheduler import S_MULTIPLIER_KEY, TRAFFIC_MATRIX_KEY, Scheduler, Schedule
 from .submitter import Submitter, SubmitterFrontend, SubmitterParams
 from .utilization import UtilizationController, UtilizationParams
 from .worker import Worker, WorkerParams
+from .workerarrays import WorkerArrays
 from .workerlb import WorkerLB
 
 __all__ = [
@@ -81,6 +82,7 @@ __all__ = [
     "UtilizationController",
     "UtilizationParams",
     "Worker",
+    "WorkerArrays",
     "WorkerLB",
     "WorkerParams",
     "XFaaS",

@@ -179,7 +179,9 @@ class LocalityOptimizer:
         if not self.enabled or not self._workers:
             return
         groups: Dict[int, List[Worker]] = {}
-        for w in self._workers:
+        # Legitimate: rebalancing runs every ~10 min and needs each
+        # worker's group + load pair to pick a mover.
+        for w in self._workers:  # simlint: disable=SL008 -- rebalance
             groups.setdefault(w.locality_group % self.n_groups, []).append(w)
         loads = {}
         for g in range(self.n_groups):

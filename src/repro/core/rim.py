@@ -23,6 +23,7 @@ from ..sim.sampler import SamplerHub
 from .durableq import DurableQ
 from .scheduler import Scheduler
 from .worker import Worker
+from .workerarrays import WorkerArrays
 
 
 class Rim:
@@ -36,6 +37,11 @@ class Rim:
         self.sample_interval_s = sample_interval_s
         self._timers = timers
         self._workers_by_region: Dict[str, List[Worker]] = {}
+        #: region -> the distinct SoA stores its workers live in, or None
+        #: when stores and registered workers disagree (stale rows from
+        #: partial registration) and aggregates must fall back to views.
+        self._arrays_by_region: Dict[str, Optional[List[WorkerArrays]]] = {}
+        self._capacity_by_region: Dict[str, int] = {}
         self._durableqs_by_region: Dict[str, List[DurableQ]] = {}
         self._schedulers_by_region: Dict[str, Scheduler] = {}
         self._region_util: Dict[str, float] = {}
@@ -48,10 +54,22 @@ class Rim:
 
     # ------------------------------------------------------------------
     def register_workers(self, region: str, workers: List[Worker]) -> None:
-        self._workers_by_region.setdefault(region, []).extend(workers)
+        registered = self._workers_by_region.setdefault(region, [])
+        registered.extend(workers)
         if region not in self._region_gauges:
             self._region_gauges[region] = self.metrics.bind_gauge(
                 f"region.{region}.utilization")
+        # Registration-time (structural) scans so the periodic capacity
+        # and free-thread reads are O(#stores), not O(#workers).
+        stores: List[WorkerArrays] = []
+        for w in registered:
+            if not any(w._arrays is s for s in stores):
+                stores.append(w._arrays)
+        n_rows = sum(len(s) for s in stores)
+        self._arrays_by_region[region] = (
+            stores if n_rows == len(registered) else None)
+        self._capacity_by_region[region] = sum(
+            w.machine.threads for w in registered)
 
     def register_durableqs(self, region: str, shards: List[DurableQ]) -> None:
         self._durableqs_by_region.setdefault(region, []).extend(shards)
@@ -77,10 +95,15 @@ class Rim:
         now = self.sim.now
         total_busy_fraction = 0.0
         total_workers = 0
-        for region, workers in sorted(self._workers_by_region.items()):
+        regions = sorted(self._workers_by_region.items())
+        for region, workers in regions:
             if not workers:
                 continue
-            utils = [w.take_utilization_window() for w in workers]
+            # Legitimate per-worker pass: taking the rolling utilization
+            # window *mutates* each worker's CpuAccount, so there is no
+            # column aggregate to read instead.
+            utils = [w.take_utilization_window()  # simlint: disable=SL008 -- windows
+                     for w in workers]
             region_util = sum(utils) / len(utils)
             self._region_util[region] = region_util
             self._region_gauges[region].set(now, region_util)
@@ -110,12 +133,22 @@ class Rim:
 
     def region_capacity(self, region: str) -> float:
         """Aggregate worker thread capacity (supply proxy for the GTC)."""
-        return float(sum(w.machine.threads for w
-                         in self._workers_by_region.get(region, ())))
+        return float(self._capacity_by_region.get(region, 0))
 
     def region_free_threads(self, region: str) -> int:
-        return sum(max(0, w.machine.threads - w.running_count)
-                   for w in self._workers_by_region.get(region, ()))
+        # Admission caps running <= threads per worker, so capacity minus
+        # the stores' O(1) running totals equals the old per-worker sum.
+        stores = self._arrays_by_region.get(region)
+        if stores is not None:
+            running = 0
+            for s in stores:
+                running += s.total_running
+            return self._capacity_by_region.get(region, 0) - running
+        workers = self._workers_by_region.get(region, ())
+        total = 0
+        for w in workers:  # simlint: disable=SL008 -- store mismatch fallback
+            total += max(0, w.machine.threads - w.running_count)
+        return total
 
     def regions(self) -> List[str]:
         return sorted(set(self._workers_by_region)

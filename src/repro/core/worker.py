@@ -33,6 +33,7 @@ from .call import CallOutcome, FunctionCall
 from .codedeploy import CodeVersion
 from .isolation import flow_allowed
 from .jit import JitParams, RuntimeJit
+from .workerarrays import WorkerArrays
 
 FinishCallback = Callable[[FunctionCall, CallOutcome], None]
 #: Invoked at call completion with the finishing call; returns the
@@ -89,18 +90,27 @@ class _RunningCall:
 
 
 class Worker:
-    """One worker machine executing function calls."""
+    """One worker machine executing function calls.
+
+    Hot scalar state (running-call count, CPU load, memory-in-use,
+    online flag, locality group) lives in a :class:`WorkerArrays` row —
+    ``self._arrays`` / ``self._index`` — shared per region so admission
+    probes and two-choices draws read flat columns instead of chasing
+    this object.  A worker constructed without an explicit store gets a
+    private single-row one; pools re-home such workers via
+    :meth:`WorkerArrays.adopt`.
+    """
 
     __slots__ = (
         "sim", "name", "region", "namespace", "machine", "params", "jit",
-        "on_finish", "downstream_gateway", "locality_group", "code_version",
-        "cpu", "_baseline_mb", "_mem_limit_mb", "_cpu_budget",
+        "on_finish", "downstream_gateway", "code_version",
+        "cpu", "_arrays", "_index",
+        "_baseline_mb", "_mem_limit_mb", "_cpu_budget",
         "_bg_cpu_budget", "_resident_multiplier", "_resource_streams",
         "_admit_cache", "_jit_speed_at", "_jit_speed", "_budget_by_name",
         "_running", "_live_memory_mb", "_resident", "_resident_mb",
         "_window_functions", "calls_started", "calls_completed",
-        "admission_rejections", "isolation_rejections", "evictions",
-        "online")
+        "admission_rejections", "isolation_rejections", "evictions")
 
     def __init__(self, sim: Simulator, name: str, region: str,
                  namespace: str = "default",
@@ -108,7 +118,8 @@ class Worker:
                  params: WorkerParams = WorkerParams(),
                  jit_params: JitParams = JitParams(),
                  on_finish: Optional[FinishCallback] = None,
-                 downstream_gateway: Optional[DownstreamGateway] = None) -> None:
+                 downstream_gateway: Optional[DownstreamGateway] = None,
+                 arrays: Optional[WorkerArrays] = None) -> None:
         self.sim = sim
         self.name = name
         self.region = region
@@ -118,7 +129,6 @@ class Worker:
         self.jit = RuntimeJit(jit_params)
         self.on_finish = on_finish
         self.downstream_gateway = downstream_gateway
-        self.locality_group: int = 0
         self.code_version = CodeVersion(version=1, released_at=0.0)
 
         self.cpu = CpuAccount(cores=machine.cores)
@@ -131,6 +141,14 @@ class Worker:
         self._bg_cpu_budget = (self._cpu_budget *
                                params.background_admission_fraction)
         self._resident_multiplier = params.resident_multiplier
+        # SoA row: hot scalars live in the store; this object is the
+        # view.  mem starts at the exact old float expression
+        # baseline + resident + live with the latter two at 0.0.
+        store = arrays if arrays is not None else WorkerArrays()
+        self._arrays = store
+        self._index = store.add(
+            self, machine.threads, machine.cores, machine.memory_mb,
+            self._baseline_mb + 0.0 + 0.0)
         #: function name → its shared resource-sampling stream; avoids
         #: rebuilding the f-string stream name per call (simlint SL007).
         self._resource_streams: Dict[str, RngStream] = {}
@@ -159,8 +177,36 @@ class Worker:
         self.admission_rejections = 0
         self.isolation_rejections = 0
         self.evictions = 0
-        #: False while the machine is down (site outage injection).
-        self.online = True
+
+    # ------------------------------------------------------------------
+    # SoA-backed attributes (hot columns; the view stays assignable)
+    # ------------------------------------------------------------------
+    @property
+    def online(self) -> bool:
+        """False while the machine is down (site outage injection)."""
+        return bool(self._arrays.online[self._index])
+
+    @online.setter
+    def online(self, value: bool) -> None:
+        self._arrays.online[self._index] = 1 if value else 0
+
+    @property
+    def locality_group(self) -> int:
+        return self._arrays.group[self._index]
+
+    @locality_group.setter
+    def locality_group(self, value: int) -> None:
+        self._arrays.group[self._index] = value
+
+    def _sync_mem(self) -> None:
+        """Recompute (never accumulate) the memory column.
+
+        The fresh left-associated sum is the exact float the old
+        ``load_score`` computed per probe; accumulating deltas into the
+        column instead would drift bitwise and change admission ties.
+        """
+        self._arrays.mem_mb[self._index] = (
+            self._baseline_mb + self._resident_mb + self._live_memory_mb)
 
     # ------------------------------------------------------------------
     # Capacity views (used by the WorkerLB's power-of-two choice)
@@ -180,11 +226,11 @@ class Worker:
 
     def load_score(self) -> float:
         """Scalar load for load balancing: max of thread/CPU/memory use."""
-        machine = self.machine
-        a = len(self._running) / machine.threads
-        b = self.cpu.load / machine.cores
-        c = ((self.params.runtime_baseline_mb + self._resident_mb +
-              self._live_memory_mb) / machine.memory_mb)
+        arr = self._arrays
+        i = self._index
+        a = arr.running[i] / arr.threads[i]
+        b = arr.cpu_load[i] / arr.cores[i]
+        c = arr.mem_mb[i] / arr.memory_mb[i]
         if b > a:
             a = b
         return c if c > a else a
@@ -193,22 +239,22 @@ class Worker:
     # Admission and execution
     # ------------------------------------------------------------------
     def can_admit(self, call: FunctionCall) -> bool:
-        if not self.online:
+        arr = self._arrays
+        i = self._index
+        if not arr.online[i]:
             return False
         resources = call.resources
         if resources is None:
             resources = self._resources(call)
         cpu_minstr, mem_mb, exec_s = resources
-        machine = self.machine
-        if len(self._running) >= machine.threads:
+        if arr.running[i] >= arr.threads[i]:
             return False
         spec = call.spec
         name = spec.name
         resident_cost = 0.0
         if name not in self._resident:
             resident_cost = spec.code_size_mb * self._resident_multiplier
-        projected_mem = (self._baseline_mb + self._resident_mb +
-                         self._live_memory_mb) + mem_mb + resident_cost
+        projected_mem = arr.mem_mb[i] + mem_mb + resident_cost
         if projected_mem > self._mem_limit_mb:
             return False
         # CPU admission: keep projected steady load within the core budget.
@@ -217,8 +263,8 @@ class Worker:
             self._jit_speed_at = now
             self._jit_speed = self.jit.speed(now)
         speed = self._jit_speed
-        cpu_s = cpu_minstr / (machine.core_mips * (speed if speed > 1e-6
-                                                   else 1e-6))
+        cpu_s = cpu_minstr / (self.machine.core_mips * (speed if speed > 1e-6
+                                                        else 1e-6))
         duration = exec_s if exec_s > cpu_s else cpu_s
         cpu_load = cpu_s / duration
         budget = self._budget_by_name.get(name)
@@ -228,7 +274,7 @@ class Worker:
                           or spec.criticality <= Criticality.LOW)
                       else self._cpu_budget)
             self._budget_by_name[name] = budget
-        if self.cpu.load + cpu_load > budget:
+        if arr.cpu_load[i] + cpu_load > budget:
             return False
         self._admit_cache = (call.call_id, cpu_minstr, mem_mb, duration,
                              cpu_load)
@@ -287,6 +333,13 @@ class Worker:
         self._running[call.call_id] = _RunningCall(
             call=call, cpu_load=cpu_load, memory_mb=mem_mb,
             finish_handle=handle)
+        arr = self._arrays
+        i = self._index
+        arr.running[i] = len(self._running)
+        arr.cpu_load[i] = self.cpu.load
+        arr.mem_mb[i] = (self._baseline_mb + self._resident_mb +
+                         self._live_memory_mb)
+        arr.total_running += 1
         return True
 
     def _complete(self, call_id: int) -> None:
@@ -296,6 +349,13 @@ class Worker:
         now = self.sim._now
         self.cpu.on_finish(now, rc.cpu_load)
         self._live_memory_mb -= rc.memory_mb
+        arr = self._arrays
+        i = self._index
+        arr.running[i] = len(self._running)
+        arr.cpu_load[i] = self.cpu.load
+        arr.mem_mb[i] = (self._baseline_mb + self._resident_mb +
+                         self._live_memory_mb)
+        arr.total_running -= 1
         self.calls_completed += 1
         rc.call.finish_time = now
         outcome = CallOutcome.OK
@@ -367,15 +427,25 @@ class Worker:
         self.jit.restart(self.sim.now, with_profile_data=False)
         self._resident.clear()
         self._resident_mb = 0.0
+        self._sync_mem()
 
     def _interrupt_all(self) -> None:
         interrupted = list(self._running.values())
         self._running.clear()
         now = self.sim.now
+        arr = self._arrays
+        i = self._index
         for rc in interrupted:
             rc.finish_handle.cancel()
             self.cpu.on_finish(now, rc.cpu_load)
             self._live_memory_mb -= rc.memory_mb
+            # Columns must be consistent before each on_finish callback:
+            # the NACK path it triggers may probe admission state.
+            arr.running[i] = len(self._running)
+            arr.cpu_load[i] = self.cpu.load
+            arr.mem_mb[i] = (self._baseline_mb + self._resident_mb +
+                             self._live_memory_mb)
+            arr.total_running -= 1
             rc.call.finish_time = None
             if self.on_finish is not None:
                 self.on_finish(rc.call, CallOutcome.WORKER_FULL)

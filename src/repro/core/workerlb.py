@@ -5,21 +5,35 @@ function's worker locality group* and dispatches to the less loaded one
 — "the power of two random choices" with locality layered on top.  If
 both refuse (admission control), it probes a bounded number of further
 candidates before reporting failure back to the scheduler.
+
+Since the struct-of-arrays refactor the hot loop never touches a
+``Worker`` object until a probe accepts: locality groups are ``array``
+columns of integer worker indices into the region's
+:class:`~repro.core.workerarrays.WorkerArrays`, the two-choices draws
+pick indices, and both load-score probes read flat columns.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable, Dict, List, Optional
 
 from ..sim.kernel import Simulator
 from .call import FunctionCall
 from .worker import Worker
+from .workerarrays import WorkerArrays
 
 GroupLookup = Callable[[str], int]
 
 
 class WorkerLB:
-    """Load balancer over one region's worker pool for one namespace."""
+    """Load balancer over one region's worker pool for one namespace.
+
+    Invariant: ``self.arrays.workers == self.workers`` row-for-row (the
+    i-th worker owns store row ``i``).  The constructor establishes it —
+    adopting workers into a fresh store when they arrive with private or
+    foreign stores — and :meth:`add_workers` preserves it.
+    """
 
     def __init__(self, sim: Simulator, region: str, workers: List[Worker],
                  group_of_function: GroupLookup,
@@ -32,6 +46,14 @@ class WorkerLB:
         self.sim = sim
         self.region = region
         self.workers = list(workers)
+        store = self.workers[0]._arrays
+        if (len(store.workers) != len(self.workers)
+                or any(w._arrays is not store or w._index != i
+                       for i, w in enumerate(self.workers))):
+            store = WorkerArrays()
+            for w in self.workers:
+                store.adopt(w)
+        self.arrays = store
         self.group_of_function = group_of_function
         self.n_groups_fn = n_groups_fn
         self.extra_probes = extra_probes
@@ -48,9 +70,24 @@ class WorkerLB:
         #: over every worker's group id per dispatch.
         self.group_epoch_fn = group_epoch_fn
         self._groups_cache_key: Optional[object] = None
-        self._groups: Dict[int, List[Worker]] = {}
+        self._groups: Dict[int, "array[int]"] = {}
+        self._all_idx: "array[int]" = array("l", range(len(self.workers)))
+        self._capacity_threads = self.arrays.capacity_threads()
         # Epoch-path cache key unpacked into two ints so the dispatch
         # fast path compares without building a tuple.
+        self._ck_groups = -1
+        self._ck_epoch = -1
+
+    # ------------------------------------------------------------------
+    def add_workers(self, new_workers: List[Worker]) -> None:
+        """Grow the pool (elastic capacity): adopt rows, invalidate caches."""
+        store = self.arrays
+        for w in new_workers:
+            store.adopt(w)
+            self.workers.append(w)
+            self._all_idx.append(w._index)
+        self._capacity_threads = store.capacity_threads()
+        self._groups_cache_key = None
         self._ck_groups = -1
         self._ck_epoch = -1
 
@@ -58,35 +95,40 @@ class WorkerLB:
     def group_workers(self, group: int) -> List[Worker]:
         """Workers currently assigned to a locality group."""
         self._refresh_groups()
-        return self._groups.get(group, [])
+        views = self.arrays.workers
+        return [views[i] for i in self._groups.get(group, array("l"))]
 
     def _refresh_groups(self) -> None:
         n_groups = max(1, self.n_groups_fn())
-        # Workers carry their group id (set by the Locality Optimizer);
-        # rebuild the index when assignments change.
+        # Workers carry their group id (the ``group`` column, set by the
+        # Locality Optimizer); rebuild the index when assignments change.
         if self.group_epoch_fn is not None:
             epoch = self.group_epoch_fn()
             if n_groups != self._ck_groups or epoch != self._ck_epoch:
                 self._rebuild_groups(n_groups, epoch)
             return
-        key = hash(
-            (n_groups,) + tuple(w.locality_group for w in self.workers))
+        key = hash((n_groups,) + tuple(self.arrays.group))
         if key == self._groups_cache_key:
             return
-        groups: Dict[int, List[Worker]] = {}
-        for w in self.workers:
-            groups.setdefault(w.locality_group % n_groups, []).append(w)
-        self._groups = groups
+        self._build_group_index(n_groups)
         self._groups_cache_key = key
 
     def _rebuild_groups(self, n_groups: int, epoch: int) -> None:
-        groups: Dict[int, List[Worker]] = {}
-        for w in self.workers:
-            groups.setdefault(w.locality_group % n_groups, []).append(w)
-        self._groups = groups
+        self._build_group_index(n_groups)
         self._ck_groups = n_groups
         self._ck_epoch = epoch
         self._groups_cache_key = (n_groups, epoch)
+
+    def _build_group_index(self, n_groups: int) -> None:
+        groups: Dict[int, "array[int]"] = {}
+        group_col = self.arrays.group
+        for i in self._all_idx:
+            g = group_col[i] % n_groups
+            bucket = groups.get(g)
+            if bucket is None:
+                bucket = groups[g] = array("l")
+            bucket.append(i)
+        self._groups = groups
 
     # ------------------------------------------------------------------
     def dispatch(self, call: FunctionCall) -> bool:
@@ -114,20 +156,31 @@ class WorkerLB:
                 self._rebuild_groups(n_groups, epoch)
         else:
             self._refresh_groups()
-        workers = self.workers
+        all_idx = self._all_idx
         group = self.group_of_function(call.spec.name)
-        candidates = self._groups.get(group) or workers
-        # _two_choices_order is inlined below (identical draw sequence);
-        # the loop runs once over the locality group, then — only if
-        # every in-group probe refused — once more over the whole pool.
+        candidates = self._groups.get(group) or all_idx
+        # The two-choices draw sequence is inlined below (identical
+        # getrandbits consumption to random.choice); the loop runs once
+        # over the locality group, then — only if every in-group probe
+        # refused — once more over the whole pool.  ``a``/``b`` are
+        # integer store rows; uniqueness of rows in a pool makes the
+        # ``==`` dedup equivalent to the old object ``is`` check.
         getrandbits = self._getrandbits
         extra_probes = self.extra_probes
+        arr = self.arrays
+        running = arr.running
+        cpu_load = arr.cpu_load
+        mem_mb = arr.mem_mb
+        threads = arr.threads
+        cores = arr.cores
+        memory_mb = arr.memory_mb
+        views = arr.workers
         pool = candidates
         spilled = False
         while True:
             n = len(pool)
             if n == 1:
-                order = pool
+                order = [pool[0]]
             else:
                 k = n.bit_length()
                 r = getrandbits(k)
@@ -138,29 +191,26 @@ class WorkerLB:
                 while r >= n:
                     r = getrandbits(k)
                 b = pool[r]
-                while b is a:
+                while b == a:
                     r = getrandbits(k)
                     while r >= n:
                         r = getrandbits(k)
                     b = pool[r]
                 # Worker.load_score() inlined for both probes (identical
-                # arithmetic; no subclass overrides it).
-                m = a.machine
-                sa = len(a._running) / m.threads
-                x = a.cpu.load / m.cores
+                # arithmetic on the flat columns; no subclass overrides
+                # it).
+                sa = running[a] / threads[a]
+                x = cpu_load[a] / cores[a]
                 if x > sa:
                     sa = x
-                x = (a._baseline_mb + a._resident_mb +
-                     a._live_memory_mb) / m.memory_mb
+                x = mem_mb[a] / memory_mb[a]
                 if x > sa:
                     sa = x
-                m = b.machine
-                sb = len(b._running) / m.threads
-                x = b.cpu.load / m.cores
+                sb = running[b] / threads[b]
+                x = cpu_load[b] / cores[b]
                 if x > sb:
                     sb = x
-                x = (b._baseline_mb + b._resident_mb +
-                     b._live_memory_mb) / m.memory_mb
+                x = mem_mb[b] / memory_mb[b]
                 if x > sb:
                     sb = x
                 if sa <= sb:
@@ -174,16 +224,16 @@ class WorkerLB:
                     extra = pool[r]
                     if extra not in order:
                         order.append(extra)
-            for worker in order:
-                if worker.execute(call):
+            for idx in order:
+                if views[idx].execute(call):
                     self.dispatch_count += 1
                     if spilled:
                         self.out_of_group_dispatches += 1
                     return True
-            if spilled or len(candidates) >= len(workers):
+            if spilled or len(candidates) >= len(all_idx):
                 self.reject_count += 1
                 return False
-            pool = workers
+            pool = all_idx
             spilled = True
 
     def _two_choices_order(self, candidates: List[Worker]) -> List[Worker]:
@@ -225,9 +275,32 @@ class WorkerLB:
 
     # ------------------------------------------------------------------
     def pool_load(self) -> float:
-        """Mean load score across the pool (RIM/GTC input)."""
-        return sum(w.load_score() for w in self.workers) / len(self.workers)
+        """Mean load score across the pool (RIM/GTC input).
+
+        Loops over the flat columns, accumulating exactly like the old
+        ``sum(w.load_score() ...)`` (int 0 start, same addition order)
+        so the mean is bit-identical.
+        """
+        arr = self.arrays
+        running = arr.running
+        cpu_load = arr.cpu_load
+        mem_mb = arr.mem_mb
+        threads = arr.threads
+        cores = arr.cores
+        memory_mb = arr.memory_mb
+        total = 0
+        for i in self._all_idx:
+            a = running[i] / threads[i]
+            b = cpu_load[i] / cores[i]
+            if b > a:
+                a = b
+            b = mem_mb[i] / memory_mb[i]
+            if b > a:
+                a = b
+            total = total + a
+        return total / len(self._all_idx)
 
     def free_threads(self) -> int:
-        return sum(max(0, w.machine.threads - w.running_count)
-                   for w in self.workers)
+        # Admission caps running <= threads per worker, so the O(1)
+        # aggregate equals the old per-worker max(0, ...) sum.
+        return self._capacity_threads - self.arrays.total_running

@@ -23,7 +23,7 @@ from typing import Callable, Dict, Optional
 
 from . import PlatformParams, Simulator, XFaaS
 from .analysis import fleet_utilization_series
-from .cluster import MachineSpec, size_topology_for_utilization
+from .cluster import MachineSpec, build_topology, size_topology_for_utilization
 from .core import LocalityParams, SchedulerParams, UtilizationParams
 from .downstream import ServiceRegistry, build_tao_stack
 from .workloads import (
@@ -78,7 +78,8 @@ def build_dayrun(seed: int = 7, total_rate: float = 8.0,
                  peak_to_trough: float = 4.3,
                  target_utilization: float = 0.70,
                  overrides: Optional[dict] = None,
-                 profiler: Optional[object] = None) -> DayRun:
+                 profiler: Optional[object] = None,
+                 queue_backend: Optional[str] = None) -> DayRun:
     """Build and run the shared full-day simulation.
 
     The default invocation reproduces the paper-shaped workload used by
@@ -92,8 +93,11 @@ def build_dayrun(seed: int = 7, total_rate: float = 8.0,
     ``profiler`` attaches a :class:`repro.profile.ProfileRecorder` to the
     simulator before anything is scheduled; the run behaves identically
     (bit-identical trace digest) but attributes wall time per component.
+
+    ``queue_backend`` selects the kernel's event-queue implementation
+    (``"heap"`` or ``"calendar"``); both produce bit-identical traces.
     """
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, queue_backend=queue_backend)
     if profiler is not None:
         sim.profiler = profiler
     diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=peak_to_trough)
@@ -145,6 +149,65 @@ def build_dayrun(seed: int = 7, total_rate: float = 8.0,
                   n_regions=n_regions)
 
 
+def build_fleetrun(n_workers: int, seed: int = 7,
+                   total_rate: float = 30.0,
+                   horizon_s: float = 600.0,
+                   n_functions: int = 40, n_regions: int = 4,
+                   opportunistic_fraction: float = 0.5,
+                   queue_backend: Optional[str] = None,
+                   overrides: Optional[dict] = None,
+                   run_sim: bool = True) -> DayRun:
+    """Build and run a dayrun slice over an *explicit-size* worker fleet.
+
+    The scale-ladder companion to :func:`build_dayrun`: the workload
+    (arrival mix, scheduler cadences, controllers) is held fixed while
+    ``n_workers`` sets the fleet size directly — flat capacity profile,
+    ``n_workers // n_regions`` workers per region.  Because per-event
+    work is fleet-size-independent after the struct-of-arrays refactor,
+    events/sec across rungs of ``n_workers`` measures exactly the
+    fleet-scaling property (``benchmarks/bench_scale.py``).
+
+    ``run_sim=False`` returns before ``sim.run_until`` so a benchmark
+    can time fleet construction and event processing separately — the
+    caller runs ``run.sim.run_until(run.horizon_s)`` itself.
+    """
+    if n_workers < n_regions:
+        raise ValueError(
+            f"n_workers={n_workers} must be >= n_regions={n_regions}")
+    sim = Simulator(seed=seed, queue_backend=queue_backend)
+    diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=4.3)
+    population = build_population(
+        n_functions=n_functions, total_rate=total_rate,
+        opportunistic_fraction=opportunistic_fraction, diurnal=diurnal)
+
+    machine = MachineSpec(cores=2, core_mips=500, threads=48)
+    per_region = max(1, n_workers // n_regions)
+    topology = build_topology(
+        n_regions=n_regions, workers_per_unit=per_region,
+        relative_capacity=[1.0] * n_regions, machine_spec=machine)
+
+    services = ServiceRegistry()
+    build_tao_stack(sim, services, tao_capacity_rps=1.0e5,
+                    wtcache_capacity_rps=1.0e5, kvstore_capacity_rps=1.0e5)
+
+    params = default_dayrun_params()
+    if overrides:
+        params = dataclasses.replace(params, **overrides)
+    platform = XFaaS(sim, topology, params, services=services)
+    for spec in population.specs:
+        platform.register_function(spec)
+
+    ArrivalGenerator(sim, population,
+                     lambda spec, delay: platform.submit(
+                         spec.name, start_delay_s=delay),
+                     tick_s=20.0, stop_at=horizon_s)
+    if run_sim:
+        sim.run_until(horizon_s)
+    return DayRun(sim=sim, platform=platform, population=population,
+                  spiky_function=None, horizon_s=horizon_s,
+                  n_regions=n_regions)
+
+
 def summarize_run(run: DayRun) -> dict:
     """Headline scalar statistics of one run, JSON/pickle-friendly.
 
@@ -185,4 +248,5 @@ def summarize_run(run: DayRun) -> dict:
 #: :class:`DayRun`.
 SCENARIOS: Dict[str, Callable[..., DayRun]] = {
     "dayrun": build_dayrun,
+    "fleetrun": build_fleetrun,
 }

@@ -1,0 +1,263 @@
+"""Calendar-queue event backend (Brown 1988) behind the kernel API.
+
+A calendar queue hashes each event by time into one of ``2^k`` "day"
+buckets of fixed width, like appointments written into a wall calendar:
+``bucket = (time // width) mod nbuckets``.  Pops walk the current day's
+bucket; when a day is exhausted the cursor advances to the next day.
+For schedules whose inter-event gap is stable — the simulator's
+dominant periodic+arrival mix — push and pop are O(1) amortized versus
+the tuple heap's O(log n), at the price of resizes when the event
+population drifts.
+
+Drop-in contract
+----------------
+:class:`CalendarQueue` subclasses :class:`~repro.sim.events.EventQueue`
+and preserves its exact ordering semantics: entries are the same
+``(time, priority, seq, handle)`` tuples, same-timestamp events run in
+``(priority, seq)`` order (FIFO within a priority), the zero-delay FIFO
+lane is inherited unchanged, and cancellation stays lazy with the same
+compaction thresholds.  ``Simulator(queue_backend="calendar")`` selects
+it; trace digests are bit-identical across both backends because the
+backend only reorders *how* the head is found, never *which* entry is
+the head.
+
+Implementation notes
+--------------------
+* ``_cur_day`` is the integer absolute day number (``int(time/width)``),
+  never a float bucket-top accumulator — repeated float adds would
+  drift and disagree with the push-side day function at boundaries.
+* The in-day test is ``int(entry_time / width) == day``: literally the
+  push-side day function, so an event can never be filed under a day
+  the pop scan refuses to claim.
+* After scanning a full year (every bucket) without finding an in-day
+  event, a direct search over bucket heads finds the global minimum and
+  snaps the cursor to its day — the standard fix for sparse regions.
+* Buckets are sorted lists; pushes ``insort`` (append when the entry is
+  the new maximum, the common case for monotone schedules).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import deque
+from typing import Callable, List, Optional
+
+from .events import _PURGE_MIN_CANCELLED, Entry, EventQueue, ScheduledEvent
+
+#: Initial bucket-count; grows/shrinks by powers of two.
+_MIN_BUCKETS = 8
+#: Resize thresholds: grow at 2x buckets, shrink below buckets/2.
+_GROW_FACTOR = 2
+#: Max inter-event gap samples used to re-choose the bucket width.
+_WIDTH_SAMPLES = 256
+
+
+class CalendarQueue(EventQueue):
+    """Bucketed event queue with the heap backend's exact semantics."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._buckets: List[List[Entry]] = [[] for _ in range(_MIN_BUCKETS)]
+        self._mask = _MIN_BUCKETS - 1
+        self._width = 1.0
+        #: Absolute day number the pop cursor is parked on.
+        self._cur_day = 0
+        #: Entries filed in buckets (cancelled ones included until purged).
+        self._count = 0
+        self._grow_at = _GROW_FACTOR * _MIN_BUCKETS
+        self._shrink_at = 0
+
+    def __len__(self) -> int:
+        """Total queued entries, including cancelled ones."""
+        return self._count + len(self._zero)
+
+    def live_count(self) -> int:
+        """Queued entries that are not cancelled."""
+        return self._count + len(self._zero) - self._cancelled
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def push(self, time: float, callback: Callable[[], None],
+             priority: int = 0) -> ScheduledEvent:
+        """File ``callback`` under its day; returns a cancellable handle."""
+        ev = ScheduledEvent(time, callback, self)
+        seq = self._seq
+        self._seq = seq + 1
+        entry: Entry = (time, priority, seq, ev)
+        day = int(time / self._width)
+        if day < self._cur_day:
+            # A push behind the cursor (cursor had advanced to a later
+            # event's day); rewind so the scan cannot skip it.
+            self._cur_day = day
+        bucket = self._buckets[day & self._mask]
+        if bucket and entry < bucket[-1]:
+            insort(bucket, entry)
+        else:
+            bucket.append(entry)
+        self._count += 1
+        if self._count > self._grow_at:
+            self._resize(_GROW_FACTOR * len(self._buckets))
+        return ev
+
+    # ------------------------------------------------------------------
+    # Lazy deletion
+    # ------------------------------------------------------------------
+    def _on_cancel(self) -> None:
+        self._cancelled += 1
+        if (self._cancelled > _PURGE_MIN_CANCELLED
+                and self._cancelled * 2 > self._count + len(self._zero)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry in one pass (buckets stay sorted)."""
+        for i, bucket in enumerate(self._buckets):
+            if any(e[3].cancelled for e in bucket):
+                kept = [e for e in bucket if not e[3].cancelled]
+                self._count -= len(bucket) - len(kept)
+                self._buckets[i] = kept
+        if self._zero:
+            self._zero = deque(e for e in self._zero if not e[3].cancelled)
+        self._cancelled = 0
+        if self._count < self._shrink_at:
+            self._resize(len(self._buckets) // _GROW_FACTOR)
+
+    # ------------------------------------------------------------------
+    # Head location
+    # ------------------------------------------------------------------
+    def _find_head(self) -> Optional[Entry]:
+        """Next live bucketed entry *unpopped*; advances the cursor.
+
+        O(1) when the cursor already points at the head's day (the
+        steady state: a peek right after a find, or consecutive pops
+        within one day).
+        """
+        if self._count == 0:
+            return None
+        buckets = self._buckets
+        mask = self._mask
+        width = self._width
+        day = self._cur_day
+        for _ in range(len(buckets)):
+            bucket = buckets[day & mask]
+            while bucket:
+                entry = bucket[0]
+                if entry[3].cancelled:
+                    del bucket[0]
+                    entry[3]._queue = None
+                    self._cancelled -= 1
+                    self._count -= 1
+                    continue
+                if int(entry[0] / width) == day:
+                    self._cur_day = day
+                    return entry
+                break  # head of this bucket belongs to a later year
+            day += 1
+        # A whole year was empty: direct-search the bucket heads for the
+        # global minimum and snap the cursor to it.
+        best: Optional[Entry] = None
+        for bucket in buckets:
+            while bucket and bucket[0][3].cancelled:
+                entry = bucket[0]
+                del bucket[0]
+                entry[3]._queue = None
+                self._cancelled -= 1
+                self._count -= 1
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+        if best is None:
+            return None
+        self._cur_day = int(best[0] / width)
+        return best
+
+    def _purge_head(self) -> Optional[Entry]:
+        """Drop cancelled heads; return the next live entry *unpopped*."""
+        head = self._find_head()
+        zero = self._zero
+        while zero and zero[0][3].cancelled:
+            entry = zero.popleft()
+            entry[3]._queue = None
+            self._cancelled -= 1
+        if head is not None:
+            if zero and zero[0] < head:
+                return zero[0]
+            return head
+        if zero:
+            return zero[0]
+        return None
+
+    def _pop_head(self) -> Entry:
+        """Pop the entry ``_purge_head`` just returned (head is live)."""
+        zero = self._zero
+        head = self._find_head()
+        if head is not None and (not zero or head < zero[0]):
+            bucket = self._buckets[self._cur_day & self._mask]
+            entry = bucket[0]
+            del bucket[0]
+            self._count -= 1
+            entry[3]._queue = None
+            if self._count < self._shrink_at:
+                self._resize(len(self._buckets) // _GROW_FACTOR)
+            return entry
+        entry = zero.popleft()
+        entry[3]._queue = None
+        return entry
+
+    # ------------------------------------------------------------------
+    # Resizing
+    # ------------------------------------------------------------------
+    def _resize(self, nbuckets: int) -> None:
+        """Re-bucket every live entry into ``nbuckets`` fresh buckets."""
+        if nbuckets < _MIN_BUCKETS:
+            nbuckets = _MIN_BUCKETS
+        entries: List[Entry] = []
+        dropped = 0
+        for bucket in self._buckets:
+            for entry in bucket:
+                if entry[3].cancelled:
+                    entry[3]._queue = None
+                    dropped += 1
+                else:
+                    entries.append(entry)
+        self._cancelled -= dropped
+        entries.sort()
+        self._width = self._choose_width(entries)
+        self._buckets = [[] for _ in range(nbuckets)]
+        self._mask = nbuckets - 1
+        width = self._width
+        for entry in entries:
+            # Entries arrive in sorted order, so appends keep each
+            # bucket sorted.
+            self._buckets[int(entry[0] / width) & self._mask].append(entry)
+        self._count = len(entries)
+        self._grow_at = _GROW_FACTOR * nbuckets
+        self._shrink_at = nbuckets // _GROW_FACTOR if nbuckets > _MIN_BUCKETS \
+            else 0
+        if entries:
+            self._cur_day = int(entries[0][0] / width)
+
+    def _choose_width(self, entries: List[Entry]) -> float:
+        """Bucket width from sampled inter-event gaps (Brown's rule).
+
+        Width ≈ 2x the mean gap between consecutive *distinct* event
+        times in an evenly-spaced sample, so a day holds a few events on
+        average; identical timestamps (periodic barrages) contribute no
+        gap and cannot collapse the width to zero.
+        """
+        n = len(entries)
+        if n < 2:
+            return self._width
+        step = n // _WIDTH_SAMPLES + 1
+        sample = [entries[i][0] for i in range(0, n, step)]
+        gaps = 0.0
+        ngaps = 0
+        prev = sample[0]
+        for t in sample[1:]:
+            if t > prev:
+                gaps += t - prev
+                ngaps += 1
+                prev = t
+        if ngaps == 0:
+            return self._width
+        width = 2.0 * gaps / ngaps
+        return width if width > 0.0 else self._width

@@ -12,14 +12,31 @@ simulator it runs on, which keeps tests hermetic.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, Optional, Type
 
+from .calqueue import CalendarQueue
 from .events import EventQueue, ScheduledEvent, Signal
 from .rng import RngRegistry
 
 
 class SimulationError(Exception):
     """Raised for kernel misuse (scheduling in the past, etc.)."""
+
+
+#: Selectable event-queue backends.  Both preserve identical execution
+#: order (and therefore identical trace digests); they differ only in
+#: how the head entry is located.  See :mod:`repro.sim.calqueue`.
+QUEUE_BACKENDS: Dict[str, Type[EventQueue]] = {
+    "heap": EventQueue,
+    "calendar": CalendarQueue,
+}
+
+#: Backend used when ``Simulator(queue_backend=...)`` is not given.
+#: The tuple heap wins on the calibrated day-run mix (see
+#: ``BENCH_kernel.json`` backend records and DESIGN.md §7), so it stays
+#: the default; the calendar queue is selectable for gap-stable
+#: schedules.
+DEFAULT_QUEUE_BACKEND = "heap"
 
 
 class Simulator:
@@ -29,11 +46,25 @@ class Simulator:
     ----------
     seed:
         Master seed for all named RNG streams (see :class:`RngRegistry`).
+    queue_backend:
+        Event-queue implementation, a key of :data:`QUEUE_BACKENDS`
+        (``"heap"`` or ``"calendar"``).  Execution order — and thus
+        every trace — is identical across backends.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0,
+                 queue_backend: Optional[str] = None) -> None:
         self._now = 0.0
-        self._queue = EventQueue()
+        backend = (queue_backend if queue_backend is not None
+                   else DEFAULT_QUEUE_BACKEND)
+        try:
+            queue_cls = QUEUE_BACKENDS[backend]
+        except KeyError:
+            raise SimulationError(
+                f"unknown queue_backend {backend!r}; "
+                f"expected one of {sorted(QUEUE_BACKENDS)}") from None
+        self._queue = queue_cls()
+        self.queue_backend = backend
         self.rng = RngRegistry(seed)
         self._running = False
         self._stopped = False

@@ -422,6 +422,96 @@ class PerEventMetricLookup(Rule):
         return False
 
 
+class WorkerScanInHandler(Rule):
+    """SL008 — O(n) scan over a worker collection in a sim-clock handler.
+
+    A loop (or comprehension) over the worker pool inside code that runs
+    under the simulated clock costs O(fleet) per firing — the exact
+    anti-pattern that capped the simulator at object-per-worker fleet
+    sizes before the struct-of-arrays refactor.  Aggregates belong in
+    ``WorkerArrays`` columns (``total_running``, ``capacity_threads``)
+    or in incrementally-maintained sums; per-object scans are reserved
+    for structural code (construction, registration) that runs O(1)
+    times, which this rule exempts by function name.
+    """
+
+    id = "SL008"
+    severity = Severity.WARNING
+    title = "O(n) worker scan in a sim-clock handler"
+    fix_hint = ("read WorkerArrays columns / O(1) aggregates "
+                "(total_running, capacity_threads) or maintain the sum "
+                "incrementally; keep per-worker-object loops in "
+                "construction/registration code")
+    packages = frozenset({"core"})
+
+    #: Names that denote a worker collection: ``workers``, ``_workers``,
+    #: ``all_workers``, ``workers_by_region``, ...
+    _WORKERISH = re.compile(r"(^|_)workers?(_by_region)?$")
+    #: Functions that run O(1) times (construction/registration/teardown),
+    #: where a per-object scan is structural, not per-event.
+    _STRUCTURAL = re.compile(
+        r"^(__init__|__post_init__|_?register\w*|_?add_\w+|_?build\w*|"
+        r"_?setup\w*|start|stop|close|shutdown)$")
+    #: Wrappers unwrapped to find the scanned collection:
+    #: ``sorted(workers)``, ``enumerate(self.workers)``, ...
+    _WRAPPERS = frozenset({"sorted", "list", "tuple", "enumerate",
+                           "reversed"})
+    #: Methods unwrapped likewise: ``workers_by_region.items()``, ...
+    _METHODS = frozenset({"items", "values", "keys", "get", "copy"})
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ctx.walk():
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            scanned = None
+            for it in iters:
+                scanned = self._worker_collection(it)
+                if scanned is not None:
+                    break
+            if scanned is None:
+                continue
+            fn = ctx.enclosing_function(node)
+            if fn is None:
+                continue  # module level runs once per import
+            if (isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and self._STRUCTURAL.match(fn.name)):
+                continue
+            yield ctx.finding(
+                self, node,
+                f"O(n) scan over {scanned!r} in "
+                f"{self._describe(fn)} — per-worker loops in sim-clock "
+                "handlers stop scaling with fleet size")
+
+    def _worker_collection(self, expr: ast.expr) -> Optional[str]:
+        """Name of the worker collection ``expr`` iterates, if any."""
+        # Unwrap sorted(x)/enumerate(x)/... and x.items()/x.values()/...
+        while isinstance(expr, ast.Call):
+            fn = expr.func
+            if isinstance(fn, ast.Name) and fn.id in self._WRAPPERS:
+                if not expr.args:
+                    return None
+                expr = expr.args[0]
+            elif isinstance(fn, ast.Attribute) and fn.attr in self._METHODS:
+                expr = fn.value
+            else:
+                return None
+        if isinstance(expr, ast.Attribute):
+            return expr.attr if self._WORKERISH.search(expr.attr) else None
+        if isinstance(expr, ast.Name):
+            return expr.id if self._WORKERISH.search(expr.id) else None
+        return None
+
+    @staticmethod
+    def _describe(fn: ast.AST) -> str:
+        if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return f"{fn.name}()"
+        return "a lambda"
+
+
 #: The registry walked by the CLI; order is display order.
 ALL_RULES = (
     ModuleMutableIdState(),
@@ -431,6 +521,7 @@ ALL_RULES = (
     PickleUnsafe(),
     EventHandleMisuse(),
     PerEventMetricLookup(),
+    WorkerScanInHandler(),
 )
 
 

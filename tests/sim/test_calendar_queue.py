@@ -1,0 +1,235 @@
+"""CalendarQueue vs tuple heap: bit-identical ordering under any schedule.
+
+The calendar backend is a pure performance knob — these tests pin the
+contract that makes that true: for the *same* push/cancel sequence, both
+backends pop the same entries in the same ``(time, priority, seq)``
+order, including same-timestamp FIFO ties, cancelled handles, the
+zero-delay lane, and across resize/compaction events.  The final class
+runs a miniature full platform under both backends and compares trace
+hashes — the end-to-end form of the same property.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.calqueue import _MIN_BUCKETS, CalendarQueue
+from repro.sim.events import _PURGE_MIN_CANCELLED, EventQueue
+from repro.sim.kernel import (
+    DEFAULT_QUEUE_BACKEND,
+    QUEUE_BACKENDS,
+    SimulationError,
+    Simulator,
+)
+
+from ..test_determinism_trace import _run_mini_dayrun, _trace_hash
+
+
+def noop():
+    pass
+
+
+def drain(q):
+    """Pop every live entry, returning ``(time, priority, seq)`` keys."""
+    out = []
+    while True:
+        head = q._purge_head()
+        if head is None:
+            assert q.pop() is None
+            return out
+        entry = q._pop_head()
+        out.append(entry[:3])
+
+
+def apply_ops(q, ops):
+    """Replay a schedule: ('push', t, prio) | ('zero', now) | ('cancel', i).
+
+    Returns handles in creation order so cancel indices line up across
+    backends.
+    """
+    handles = []
+    for op in ops:
+        if op[0] == "push":
+            handles.append(q.push(op[1], noop, priority=op[2]))
+        elif op[0] == "zero":
+            handles.append(q.push_zero(op[1], noop))
+        else:
+            handles[op[1]].cancel()
+    return handles
+
+
+def random_schedule(rng, n_events=500):
+    """A randomized op sequence with ties, zero-gaps, and cancellations.
+
+    The zero lane requires ``now`` to be monotone (the kernel clock
+    guarantees it); pushes may target any future or past time.
+    """
+    ops = []
+    now = 0.0
+    n_handles = 0
+    for _ in range(n_events):
+        r = rng.random()
+        if r < 0.55:
+            # Ties are the interesting case: coarse-grained times.
+            t = rng.choice([now, now + 0.0, round(now + rng.random() * 20, 1),
+                            rng.choice([0.0, 1.0, 5.0, 5.0, 100.0])])
+            ops.append(("push", t, rng.choice([-1, 0, 0, 0, 5])))
+            n_handles += 1
+        elif r < 0.8:
+            ops.append(("zero", now))
+            n_handles += 1
+        elif n_handles:
+            ops.append(("cancel", rng.randrange(n_handles)))
+        if rng.random() < 0.3:
+            now = round(now + rng.random() * 5, 1)
+    return ops
+
+
+class TestRandomizedEquivalence:
+    @pytest.mark.parametrize("trial", range(30))
+    def test_identical_pop_order(self, trial):
+        ops = random_schedule(random.Random(9000 + trial))
+        heap, cal = EventQueue(), CalendarQueue()
+        apply_ops(heap, ops)
+        apply_ops(cal, ops)
+        assert drain(heap) == drain(cal)
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_interleaved_pop_push(self, trial):
+        # Pop mid-schedule the way the kernel does, with the clock
+        # following the popped entry's time.
+        rng = random.Random(7000 + trial)
+        heap, cal = EventQueue(), CalendarQueue()
+        hh, hc = [], []
+        popped_h, popped_c = [], []
+        now = 0.0
+        for step in range(400):
+            r = rng.random()
+            if r < 0.5:
+                t = now + rng.choice([0.0, 0.5, rng.random() * 30])
+                prio = rng.choice([-1, 0, 0, 3])
+                hh.append(heap.push(t, noop, priority=prio))
+                hc.append(cal.push(t, noop, priority=prio))
+            elif r < 0.6 and hh:
+                i = rng.randrange(len(hh))
+                hh[i].cancel()
+                hc[i].cancel()
+            else:
+                eh = heap._purge_head()
+                ec = cal._purge_head()
+                assert (eh is None) == (ec is None)
+                if eh is not None:
+                    a, b = heap._pop_head(), cal._pop_head()
+                    assert a[:3] == b[:3]
+                    popped_h.append(a[:3])
+                    popped_c.append(b[:3])
+                    now = max(now, a[0])
+        popped_h += drain(heap)
+        popped_c += drain(cal)
+        assert popped_h == popped_c
+        assert len(popped_h) > 100
+
+    def test_same_timestamp_fifo_within_priority(self):
+        heap, cal = EventQueue(), CalendarQueue()
+        ops = [("push", 5.0, p) for p in (0, 0, -1, 5, 0, -1)]
+        ops += [("push", 5.0, 0)] * 10
+        apply_ops(heap, ops)
+        apply_ops(cal, ops)
+        order = drain(cal)
+        assert order == drain(heap)
+        # Within a priority class, seq (push order) strictly increases.
+        by_prio = {}
+        for _, prio, seq in order:
+            assert by_prio.get(prio, -1) < seq
+            by_prio[prio] = seq
+
+    def test_mass_cancellation_compaction_parity(self):
+        heap, cal = EventQueue(), CalendarQueue()
+        n = 6 * _PURGE_MIN_CANCELLED
+        ops = [("push", float(i % 37), 0) for i in range(n)]
+        ops += [("cancel", i) for i in range(n) if i % 4]
+        apply_ops(heap, ops)
+        apply_ops(cal, ops)
+        assert heap.live_count() == cal.live_count()
+        assert drain(heap) == drain(cal)
+
+
+class TestCalendarInternals:
+    def test_grow_resize_preserves_order(self):
+        q = CalendarQueue()
+        times = [float(i % 97) * 0.7 for i in range(1000)]
+        for t in times:
+            q.push(t, noop)
+        assert len(q._buckets) > _MIN_BUCKETS  # ladder actually grew
+        assert [e[0] for e in drain(q)] == sorted(times)
+
+    def test_shrink_after_mass_cancel(self):
+        q = CalendarQueue()
+        handles = [q.push(float(i), noop) for i in range(2000)]
+        nbuckets_grown = len(q._buckets)
+        for h in handles[10:]:
+            h.cancel()
+        drained = drain(q)
+        assert [seq for _, _, seq in drained] == list(range(10))
+        assert len(q._buckets) < nbuckets_grown
+
+    def test_push_behind_cursor_rewinds(self):
+        q = CalendarQueue()
+        q.push(50.0, noop)
+        assert q._purge_head()[0] == 50.0  # cursor parked on day(50)
+        q.push(1.0, noop)  # behind the cursor
+        assert q._purge_head()[0] == 1.0
+        assert [e[0] for e in drain(q)] == [1.0, 50.0]
+
+    def test_sparse_times_use_direct_search(self):
+        # Gaps far wider than a year of buckets force the fallback scan.
+        q = CalendarQueue()
+        times = [0.0, 1e6, 7e6, 3e6]
+        for t in times:
+            q.push(t, noop)
+        assert [e[0] for e in drain(q)] == sorted(times)
+
+    def test_len_and_live_count_match_heap_semantics(self):
+        heap, cal = EventQueue(), CalendarQueue()
+        ops = [("push", float(i), 0) for i in range(20)]
+        ops += [("zero", 0.0)] * 3 + [("cancel", 4), ("cancel", 21)]
+        apply_ops(heap, ops)
+        apply_ops(cal, ops)
+        assert len(cal) == len(heap)
+        assert cal.live_count() == heap.live_count()
+
+    def test_cancel_after_pop_is_harmless(self):
+        q = CalendarQueue()
+        h = q.push(1.0, noop)
+        q.push(2.0, noop)
+        assert q.pop() is h
+        h.cancel()
+        assert q.live_count() == 1
+
+
+class TestBackendSelection:
+    def test_registry_and_default(self):
+        assert set(QUEUE_BACKENDS) == {"heap", "calendar"}
+        assert DEFAULT_QUEUE_BACKEND in QUEUE_BACKENDS
+        assert isinstance(Simulator()._queue,
+                          QUEUE_BACKENDS[DEFAULT_QUEUE_BACKEND])
+
+    def test_explicit_backends(self):
+        assert type(Simulator(queue_backend="heap")._queue) is EventQueue
+        assert isinstance(Simulator(queue_backend="calendar")._queue,
+                          CalendarQueue)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(SimulationError, match="calendar"):
+            Simulator(queue_backend="fibheap")
+
+
+class TestDayrunDigestParity:
+    def test_mini_dayrun_trace_parity_across_backends(self):
+        sim_h, platform_h = _run_mini_dayrun(seed=77, queue_backend="heap")
+        sim_c, platform_c = _run_mini_dayrun(seed=77,
+                                             queue_backend="calendar")
+        assert len(platform_h.traces) > 100, "mini-dayrun produced no work"
+        assert _trace_hash(platform_h) == _trace_hash(platform_c)
+        assert sim_h.events_executed == sim_c.events_executed
+        assert sim_h.now == sim_c.now

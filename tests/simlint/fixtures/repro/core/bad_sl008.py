@@ -1,0 +1,41 @@
+"""True positives for SL008: O(n) worker scans in sim-clock handlers."""
+
+
+class Rim:
+    def __init__(self, workers):
+        self.workers = workers
+        self._workers_by_region = {"a": workers}
+
+    def sample(self):
+        # Plain for-loop over the pool inside a periodic handler.
+        total = 0.0
+        for w in self.workers:
+            total += w.load_score()
+        return total
+
+    def free_threads(self):
+        # Generator expression scan.
+        return sum(w.machine.threads - w.running_count
+                   for w in self.workers)
+
+    def region_report(self):
+        # Scan hidden behind sorted(...).items() unwrapping.
+        out = {}
+        for region, workers in sorted(self._workers_by_region.items()):
+            out[region] = len(workers)
+        return out
+
+
+class Balancer:
+    def __init__(self, all_workers):
+        self.all_workers = all_workers
+
+    def pool_load(self):
+        # List comprehension over an `all_workers` attribute.
+        scores = [w.load_score() for w in self.all_workers]
+        return sum(scores) / len(scores)
+
+    def on_tick(self, workers):
+        # enumerate(...) wrapper does not hide the scan.
+        for i, w in enumerate(workers):
+            w.poke(i)

@@ -1,0 +1,38 @@
+"""True negatives for SL008: structural scans and column aggregates."""
+
+WORKER_NAMES = ["w0", "w1"]
+
+#: Module-level scan runs once per import — out of scope.
+_CAPACITY = sum(len(name) for name in WORKER_NAMES)
+
+
+class Pool:
+    def __init__(self, workers):
+        # Construction-time scan: runs once per pool.
+        self.workers = list(workers)
+        self.capacity = sum(w.machine.threads for w in self.workers)
+        self.total_running = 0
+
+    def register_workers(self, region, workers):
+        # Registration is structural: O(1) occurrences per run.
+        for w in workers:
+            self.workers.append(w)
+
+    def add_workers(self, new_workers):
+        for w in new_workers:
+            self.workers.append(w)
+
+    def build_group_index(self, n_groups):
+        return {i: [w for w in self.workers if w.group == i]
+                for i in range(n_groups)}
+
+    def free_threads(self):
+        # The fix SL008 points at: O(1) aggregate, no scan.
+        return self.capacity - self.total_running
+
+    def sample(self):
+        # Scans over non-worker collections are fine.
+        total = 0.0
+        for shard in self.shards:
+            total += shard.backlog()
+        return total

@@ -19,6 +19,7 @@ CASES = {
     "SL005": ("sweep/bad_sl005.py", 3),
     "SL006": ("core/bad_sl006.py", 3),
     "SL007": ("core/bad_sl007.py", 4),
+    "SL008": ("core/bad_sl008.py", 5),
 }
 
 GOOD = {
@@ -29,6 +30,7 @@ GOOD = {
     "SL005": "sweep/good_sl005.py",
     "SL006": "core/good_sl006.py",
     "SL007": "core/good_sl007.py",
+    "SL008": "core/good_sl008.py",
 }
 
 SUPPRESSED = {
@@ -39,6 +41,7 @@ SUPPRESSED = {
     "SL005": "sweep/suppressed_sl005.py",
     "SL006": "core/suppressed_sl006.py",
     "SL007": "core/suppressed_sl007.py",
+    "SL008": "core/suppressed_sl008.py",
 }
 
 
@@ -98,7 +101,8 @@ class TestSuppressions:
 class TestRegistry:
     def test_all_rules_registered(self):
         assert sorted(rules_by_id()) == [
-            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007"]
+            "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
+            "SL008"]
 
     def test_every_rule_documents_itself(self):
         for rule in ALL_RULES:

@@ -24,11 +24,11 @@ from repro.workloads import (
 HORIZON_S = 420.0
 
 
-def _run_mini_dayrun(seed: int):
+def _run_mini_dayrun(seed: int, queue_backend=None):
     # Call ids come from the platform's own CallIdAllocator, so two
     # back-to-back runs in one process see identical ids with no reset
     # step — the property simlint rule SL001 enforces statically.
-    sim = Simulator(seed=seed)
+    sim = Simulator(seed=seed, queue_backend=queue_backend)
     population = build_population(n_functions=24, total_rate=6.0,
                                   opportunistic_fraction=0.5)
     for load in population.loads:
