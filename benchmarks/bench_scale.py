@@ -186,11 +186,14 @@ def main(argv=None) -> int:
                           f"({args.max_regression:.0%} regression budget)")
                     failures += 1
             else:
+                # Same dedup rule as bench_speed: label + bit-identical
+                # digest.  The git hash is deliberately NOT part of the
+                # key — a commit that doesn't change behavior would
+                # otherwise re-append an identical measurement per rev.
                 if (baseline
                         and baseline.get("label") == rec["label"]
                         and baseline.get("trace_digest")
-                        == rec["trace_digest"]
-                        and baseline.get("git") == rec.get("git")):
+                        == rec["trace_digest"]):
                     print(f"  {backend}: unchanged vs newest committed "
                           "record; not appending")
                     continue

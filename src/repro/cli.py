@@ -52,8 +52,10 @@ from .workloads import (
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.shards is not None:
+        return _cmd_simulate_parallel(args)
     horizon_s = args.hours * 3600.0
-    sim = Simulator(seed=args.seed)
+    sim = Simulator(seed=args.seed, queue_backend=args.queue_backend)
     diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=args.peak_to_trough)
     population = build_population(
         n_functions=args.functions, total_rate=args.rate,
@@ -124,6 +126,72 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{statistics.mean(fleet):.3f}, "
               f"peak-to-trough {peak_to_trough(fleet, 0.02):.2f}x "
               "(paper: 66% mean, 1.4x)")
+    if args.expect_digest:
+        digest = platform.traces.digest()
+        if digest != args.expect_digest:
+            print(f"DIGEST MISMATCH: run produced {digest}, expected "
+                  f"{args.expect_digest}", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_simulate_parallel(args: argparse.Namespace) -> int:
+    """``simulate --shards N``: the region-sharded parallel runner.
+
+    Parity note: the parallel runner's digest is the *canonical*
+    (order-independent) digest over the same per-call lifecycle tuples,
+    and ``--shards 1`` runs the identical windowed machinery serially —
+    so ``--shards 1`` and ``--shards N`` digests are bit-identical and
+    directly comparable via ``--expect-digest``.
+    """
+    from .parsim import ParsimSpec, run_parsim
+
+    if (args.no_time_shifting or args.no_global_dispatch
+            or args.locality_groups != 3):
+        print("simulate --shards does not support ablation flags "
+              "(--no-time-shifting / --no-global-dispatch / "
+              "--locality-groups); run them serially or via sweep",
+              file=sys.stderr)
+        return 2
+    spec = ParsimSpec(
+        scenario="dayrun", seed=args.seed,
+        horizon_s=args.hours * 3600.0, total_rate=args.rate,
+        n_functions=args.functions, n_regions=args.regions,
+        opportunistic_fraction=args.opportunistic,
+        peak_to_trough=args.peak_to_trough,
+        target_utilization=args.target_utilization,
+        n_shards=args.shards, queue_backend=args.queue_backend)
+    if not args.json:
+        print(f"simulating {args.hours} h, {args.rate} calls/s mean, "
+              f"{args.regions} regions on {spec.effective_shards} "
+              f"shard(s) ...", flush=True)
+    result = run_parsim(spec)
+
+    if args.json:
+        doc = result.summary()
+        doc["trace_digest"] = result.digest
+        doc["config"] = {
+            "hours": args.hours, "rate": args.rate,
+            "functions": args.functions, "regions": args.regions,
+            "seed": args.seed, "shards": args.shards,
+            "queue_backend": args.queue_backend,
+        }
+        print(json.dumps(doc, indent=1))
+    else:
+        if result.fallback_reason:
+            print(f"note: {result.fallback_reason}")
+        print(f"submitted {result.submitted}, completed {result.completed}, "
+              f"still queued {result.backlog}, "
+              f"throttled {result.throttled}")
+        print(f"{result.events_executed} events across {result.n_shards} "
+              f"shard(s), {result.barriers} barriers, "
+              f"{result.messages_exchanged} cross-shard messages")
+        print(f"canonical trace digest {result.digest}")
+    if args.expect_digest and result.digest != args.expect_digest:
+        print(f"DIGEST MISMATCH: parallel run produced {result.digest}, "
+              f"expected {args.expect_digest} — shard-count parity "
+              "violated", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -175,7 +243,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     specs = build_grid(
         n_reps=args.runs, master_seed=args.master_seed, variants=variants,
         horizon_s=args.hours * 3600.0, total_rate=args.rate,
-        n_functions=args.functions, n_regions=args.regions)
+        n_functions=args.functions, n_regions=args.regions,
+        queue_backend=args.queue_backend)
 
     if not args.json:
         print(f"sweeping {len(specs)} runs ({len(variants)} variant(s) × "
@@ -329,6 +398,18 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--locality-groups", type=int, default=3)
     sim_p.add_argument("--no-time-shifting", action="store_true")
     sim_p.add_argument("--no-global-dispatch", action="store_true")
+    sim_p.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="run region-sharded in N worker processes "
+                            "(conservative bounded-lag windows; --shards 1 "
+                            "runs the same machinery serially and yields a "
+                            "bit-identical digest)")
+    sim_p.add_argument("--queue-backend", default=None,
+                       choices=("heap", "calendar"),
+                       help="kernel event-queue implementation (both are "
+                            "bit-identical; calendar is faster at scale)")
+    sim_p.add_argument("--expect-digest", metavar="SHA256",
+                       help="fail unless the run's trace digest matches "
+                            "(CI parity check)")
     sim_p.add_argument("--json", action="store_true",
                        help="emit the run summary as machine-readable JSON")
     sim_p.set_defaults(func=_cmd_simulate)
@@ -356,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=("spawn", "fork", "forkserver"))
     sweep_p.add_argument("--chunksize", type=int, default=None,
                          help="specs dispatched per pool task (default 1)")
+    sweep_p.add_argument("--queue-backend", default=None,
+                         choices=("heap", "calendar"),
+                         help="kernel event-queue implementation for every "
+                              "run (bit-identical; perf knob, not a "
+                              "variant axis)")
     sweep_p.add_argument("--json", action="store_true",
                          help="emit the full sweep report as JSON")
     sweep_p.set_defaults(func=_cmd_sweep)

@@ -33,7 +33,8 @@ class DurableQ:
 
     def __init__(self, sim: Simulator, name: str, region: str,
                  lease_timeout_s: float = 120.0,
-                 sweep_interval_s: float = 30.0) -> None:
+                 sweep_interval_s: float = 30.0,
+                 jitter_stream: Optional[str] = None) -> None:
         if lease_timeout_s <= 0:
             raise ValueError("lease_timeout_s must be positive")
         self.sim = sim
@@ -53,8 +54,13 @@ class DurableQ:
         self.acked_count = 0
         self.nacked_count = 0
         self.expired_lease_count = 0
-        self._sweep_task = sim.every(sweep_interval_s, self._sweep_leases,
-                                     jitter=sweep_interval_s * 0.1)
+        # parsim passes a queue-qualified jitter stream so the sweep's
+        # draw sequence is independent of shard grouping; the default
+        # shares the kernel-wide "periodic-jitter" stream (legacy).
+        self._sweep_task = sim.every(
+            sweep_interval_s, self._sweep_leases,
+            jitter=sweep_interval_s * 0.1,
+            **({"rng_stream": jitter_stream} if jitter_stream else {}))
 
     # ------------------------------------------------------------------
     def enqueue(self, call: FunctionCall) -> None:
@@ -156,6 +162,22 @@ class DurableQ:
         name = call.function_name
         self._register_name(name)
         heapq.heappush(self._queues[name], (ready_at, call.call_id, call))
+
+    # ------------------------------------------------------------------
+    # By-id variants for remote (cross-shard) schedulers, which hold a
+    # serialized copy of the call — the authoritative object lives in
+    # this queue's lease table (repro.parsim message handlers).
+    # ------------------------------------------------------------------
+    def ack_by_id(self, call_id: int) -> None:
+        """ACK a leased call identified only by its id."""
+        if self._leases.pop(call_id, None) is not None:
+            self.acked_count += 1
+
+    def nack_by_id(self, call_id: int, retry_delay_s: float = 0.0) -> None:
+        """NACK a leased call identified only by its id."""
+        lease = self._leases.get(call_id)
+        if lease is not None:
+            self.nack(lease.call, retry_delay_s)
 
     # ------------------------------------------------------------------
     def _sweep_leases(self) -> None:

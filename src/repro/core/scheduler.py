@@ -87,7 +87,8 @@ class Scheduler:
                  config: ConfigStore,
                  params: SchedulerParams = SchedulerParams(),
                  on_done: Optional[DoneCallback] = None,
-                 timers: Optional[SamplerHub] = None) -> None:
+                 timers: Optional[SamplerHub] = None,
+                 jitter_stream: Optional[str] = None) -> None:
         self.sim = sim
         self.region = region
         self.scheduler_id = f"scheduler/{region}"
@@ -109,9 +110,11 @@ class Scheduler:
         self._inflight: Dict[int, Tuple[FunctionCall, DurableQ]] = {}
 
         self._traffic = CachedConfig(sim, config, TRAFFIC_MATRIX_KEY,
-                                     default={region: {region: 1.0}})
+                                     default={region: {region: 1.0}},
+                                     jitter_stream=jitter_stream)
         self._s_multiplier = CachedConfig(sim, config, S_MULTIPLIER_KEY,
-                                          default=1.0)
+                                          default=1.0,
+                                          jitter_stream=jitter_stream)
 
         self.dispatched_count = 0
         self.completed_count = 0
@@ -238,6 +241,16 @@ class Scheduler:
         adjusted = {r: f * scale for r, f in row.items() if r != self.region}
         adjusted[self.region] = self.MIN_LOCAL_FRACTION
         return adjusted
+
+    def accept_remote(self, call: FunctionCall, shard: DurableQ) -> None:
+        """Buffer a call delivered by a cross-shard DurableQ poll response.
+
+        ``shard`` is duck-typed: :mod:`repro.parsim` passes a remote
+        handle whose ``ack``/``nack``/``extend_lease`` relay to the
+        queue's owner shard.  The call joins this scheduler's
+        FuncBuffers exactly as a locally polled call would.
+        """
+        self._buffer_call(call, shard)
 
     def _buffer_call(self, call: FunctionCall, shard: DurableQ) -> None:
         call.scheduler_region = self.region

@@ -1,0 +1,185 @@
+"""ReportRim: RIM's global view rebuilt from inter-shard reports.
+
+The serial :class:`repro.core.rim.Rim` reads every worker in the fleet
+directly.  In parallel mode a shard only hosts its own regions'
+workers, so each region *emits* a periodic report — utilization sum,
+worker count, backlog, capacity, free threads — that is broadcast to
+every region (including the emitter's own) with one **uniform** delay:
+the topology's maximum cross-region latency.  Uniformity is the
+determinism trick: every shard, whatever regions it owns, sees exactly
+the same reports at exactly the same simulation instants, so the
+replicated GTC and Utilization Controller on every shard compute and
+publish identical decisions.
+
+Application is idempotent (keyed on ``(region, sample_time)``): a shard
+owning several regions receives each broadcast once per owned region
+and applies it once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..metrics.recorder import MetricsRegistry
+from ..metrics.timeseries import Gauge
+from ..sim.kernel import Simulator
+from ..sim.sampler import SamplerHub
+
+#: Emitted per region per sample: everything the GTC / Utilization
+#: Controller / analysis layer read from RIM.
+Report = Tuple[float, float, int, float, float, int]
+# (sample_time, sum_util, n_workers, backlog, capacity, free_threads)
+
+SendReport = Callable[[str, Report], None]
+
+
+class ReportRim:
+    """Replicated RIM view fed by uniformly-delayed region reports.
+
+    Duck-types the :class:`repro.core.rim.Rim` surface the controllers
+    consume: ``regions()``, ``fleet_utilization()``,
+    ``region_utilization()``, ``region_backlog()``,
+    ``region_capacity()``, ``region_free_threads()``.
+    """
+
+    def __init__(self, sim: Simulator, metrics: MetricsRegistry,
+                 all_regions: List[str], owned_regions: List[str],
+                 send_report: SendReport,
+                 sample_interval_s: float = 60.0,
+                 timers: Optional[SamplerHub] = None,
+                 fleet_gauge_owner: bool = False) -> None:
+        self.sim = sim
+        self.metrics = metrics
+        self.all_regions = sorted(all_regions)
+        self.owned_regions = sorted(owned_regions)
+        self.send_report = send_report
+        self.sample_interval_s = sample_interval_s
+        self._timers = timers
+        #: This shard writes the fleet-wide gauge (exactly one does).
+        self.fleet_gauge_owner = fleet_gauge_owner
+        self._workers_by_region: Dict[str, list] = {}
+        self._durableqs_by_region: Dict[str, list] = {}
+        self._schedulers_by_region: Dict[str, object] = {}
+        self._capacity_by_region: Dict[str, float] = {}
+        #: region -> latest applied report (the replicated global view).
+        self._view: Dict[str, Report] = {}
+        self._tasks: list = []
+        self._fleet_gauge = (metrics.bind_gauge("fleet.utilization")
+                             if fleet_gauge_owner else None)
+        self._region_gauges: Dict[str, Gauge] = {}
+
+    # ------------------------------------------------------------------
+    # Owned-region registration (mirrors core.rim.Rim)
+    # ------------------------------------------------------------------
+    def register_workers(self, region: str, workers: list) -> None:
+        self._workers_by_region.setdefault(region, []).extend(workers)
+        self._capacity_by_region[region] = sum(
+            w.machine.threads
+            for w in self._workers_by_region[region])
+        if region not in self._region_gauges:
+            self._region_gauges[region] = self.metrics.bind_gauge(
+                f"region.{region}.utilization")
+
+    def register_durableqs(self, region: str, shards: list) -> None:
+        self._durableqs_by_region.setdefault(region, []).extend(shards)
+
+    def register_scheduler(self, region: str, scheduler: object) -> None:
+        self._schedulers_by_region[region] = scheduler
+
+    def start(self) -> None:
+        if self._tasks:
+            raise RuntimeError("ReportRim already started")
+        timers = self._timers if self._timers is not None else self.sim
+        start = self.sim.now + self.sample_interval_s
+        for region in self.owned_regions:
+            self._tasks.append(timers.every(
+                self.sample_interval_s,
+                self._make_emitter(region), start=start))
+
+    def stop(self) -> None:
+        for t in self._tasks:
+            t.cancel()
+        self._tasks = []
+
+    # ------------------------------------------------------------------
+    # Emission (owned regions only)
+    # ------------------------------------------------------------------
+    def _make_emitter(self, region: str) -> Callable[[], None]:
+        def emit() -> None:
+            self._emit(region)
+        return emit
+
+    def _emit(self, region: str) -> None:
+        now = self.sim.now
+        workers = self._workers_by_region.get(region, ())
+        # Taking the rolling window mutates each worker's CpuAccount —
+        # same single-consumer contract as the serial Rim.
+        utils = [w.take_utilization_window()  # simlint: disable=SL008 -- windows
+                 for w in workers]
+        sum_util = sum(utils)
+        n = len(utils)
+        if n:
+            self._region_gauges[region].set(now, sum_util / n)
+        backlog = float(sum(
+            q.ready_count() for q in self._durableqs_by_region.get(region, ())))
+        sched = self._schedulers_by_region.get(region)
+        if sched is not None:
+            backlog += sched.pending_demand
+        report: Report = (now, sum_util, n, backlog,
+                          self._capacity_by_region.get(region, 0.0),
+                          self.region_free_threads_local(region))
+        self.send_report(region, report)
+
+    def region_free_threads_local(self, region: str) -> int:
+        workers = self._workers_by_region.get(region, ())
+        total = 0
+        # Registration is per-region here (no shared SoA bookkeeping as
+        # in core.rim), so the per-worker fallback is the primary path.
+        for w in workers:  # simlint: disable=SL008 -- per-region report
+            total += max(0, w.machine.threads - w.running_count)
+        return total
+
+    # ------------------------------------------------------------------
+    # Application (message handler; idempotent)
+    # ------------------------------------------------------------------
+    def apply_report(self, region: str, report: Report) -> None:
+        prev = self._view.get(region)
+        if prev is not None and prev[0] >= report[0]:
+            return  # duplicate broadcast copy (multi-region shard)
+        self._view[region] = report
+        sample_time = report[0]
+        if all(r in self._view and self._view[r][0] == sample_time
+               for r in self.all_regions):
+            # Full sample assembled: refresh the fleet-wide gauge.
+            if self._fleet_gauge is not None:
+                total_workers = sum(v[2] for v in self._view.values())
+                if total_workers:
+                    self._fleet_gauge.set(
+                        self.sim.now, self.fleet_utilization())
+
+    # ------------------------------------------------------------------
+    # Views consumed by the replicated controllers
+    # ------------------------------------------------------------------
+    def regions(self) -> List[str]:
+        return list(self.all_regions)
+
+    def fleet_utilization(self) -> float:
+        total_util = sum(v[1] for v in self._view.values())
+        total_workers = sum(v[2] for v in self._view.values())
+        return total_util / total_workers if total_workers else 0.0
+
+    def region_utilization(self, region: str) -> float:
+        v = self._view.get(region)
+        return (v[1] / v[2]) if v and v[2] else 0.0
+
+    def region_backlog(self, region: str) -> float:
+        v = self._view.get(region)
+        return v[3] if v else 0.0
+
+    def region_capacity(self, region: str) -> float:
+        v = self._view.get(region)
+        return v[4] if v else 0.0
+
+    def region_free_threads(self, region: str) -> int:
+        v = self._view.get(region)
+        return int(v[5]) if v else 0

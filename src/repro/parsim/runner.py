@@ -1,0 +1,275 @@
+"""Conservative bounded-lag coordinator for region-sharded runs.
+
+The runner advances every shard in lockstep windows of width Δ = the
+topology's **lookahead** (minimum cross-region network latency).  The
+conservative invariant: any message a shard emits while executing the
+window ``(W−Δ, W]`` has delivery time ``t + latency ≥ t + Δ > W`` —
+strictly beyond the window — so collecting outboxes only at barriers
+never delivers a message into a shard's past.
+
+At each barrier the coordinator merges all outboxes in the canonical
+order ``(deliver_at, src_region, src_seq)`` and injects each shard's
+due messages before the next window runs.  Injection order fixes the
+kernel's same-time tiebreak, which is why an N-shard run is
+bit-identical to the 1-shard run of the *same machinery* (structural
+parity — see DESIGN.md §7).
+
+Empty windows are skipped: the next barrier jumps to the window
+containing ``min(every shard's next event, every undelivered message)``.
+Skipping is safe because every event in the skipped span lies at or
+after that minimum, so nothing it emits can be due before the jumped-to
+window's start plus Δ.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..metrics.recorder import MetricsRegistry
+from ..workloads.trace import TraceLog
+from .messages import ShardMessage
+from .platform import build_shard, build_workload
+from .spec import ParsimSpec, partition_regions
+
+#: Tolerance for the window-index arithmetic: a candidate event time is
+#: mapped to its window with ``ceil(t/Δ - _EPS)`` so a time sitting
+#: exactly on a barrier (t == k·Δ) lands in window k, not k+1.
+_EPS = 1e-9
+
+
+@dataclass
+class ParsimResult:
+    """Outcome of one parallel (or degenerate serial) run."""
+
+    spec: ParsimSpec
+    #: Order-independent digest over the merged trace multiset.
+    digest: str
+    metrics: MetricsRegistry
+    submitted: int
+    throttled: int
+    completed: int
+    backlog: int
+    events_executed: int
+    #: Shards actually run (== 1 after a fallback).
+    n_shards: int
+    #: Why fewer shards ran than requested (None when honoured).
+    fallback_reason: Optional[str] = None
+    #: Barrier synchronizations performed (skipped windows excluded).
+    barriers: int = 0
+    #: Cross-shard messages exchanged.
+    messages_exchanged: int = 0
+    owned_regions: List[List[str]] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "submitted": self.submitted,
+            "throttled": self.throttled,
+            "completed": self.completed,
+            "backlog": self.backlog,
+            "events_executed": self.events_executed,
+            "n_shards": self.n_shards,
+            "fallback_reason": self.fallback_reason,
+            "barriers": self.barriers,
+            "messages_exchanged": self.messages_exchanged,
+        }
+
+
+class _LocalShard:
+    """In-process shard driver (serial mode, parity tests)."""
+
+    def __init__(self, spec: ParsimSpec, index: int) -> None:
+        self.platform = build_shard(spec, index)
+        self._reply: Optional[Tuple[List[ShardMessage],
+                                    Optional[float]]] = None
+
+    def advance_send(self, window_end: float,
+                     messages: List[ShardMessage]) -> None:
+        self.platform.advance(window_end, messages)
+        self._reply = (self.platform.drain_outbox(),
+                       self.platform.next_event_time())
+
+    def advance_recv(self) -> Tuple[List[ShardMessage], Optional[float]]:
+        reply, self._reply = self._reply, None
+        assert reply is not None
+        return reply
+
+    def finish(self) -> Dict[str, Any]:
+        return self.platform.finish()
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, spec: ParsimSpec, index: int) -> None:
+    """Child-process entry point (spawn start method)."""
+    platform = build_shard(spec, index)
+    try:
+        while True:
+            msg = conn.recv()
+            if msg[0] == "advance":
+                _, window_end, messages = msg
+                platform.advance(window_end, messages)
+                conn.send((platform.drain_outbox(),
+                           platform.next_event_time()))
+            elif msg[0] == "finish":
+                conn.send(platform.finish())
+                return
+            else:  # pragma: no cover - protocol error
+                raise ValueError(f"unknown command {msg[0]!r}")
+    finally:
+        conn.close()
+
+
+class _ProcShard:
+    """Worker-process shard driver (spawn; same protocol as _LocalShard)."""
+
+    def __init__(self, ctx, spec: ParsimSpec, index: int) -> None:
+        self._conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_shard_worker, args=(child, spec, index), daemon=True)
+        self.process.start()
+        child.close()
+
+    def advance_send(self, window_end: float,
+                     messages: List[ShardMessage]) -> None:
+        self._conn.send(("advance", window_end, messages))
+
+    def advance_recv(self) -> Tuple[List[ShardMessage], Optional[float]]:
+        return self._conn.recv()
+
+    def finish(self) -> Dict[str, Any]:
+        self._conn.send(("finish",))
+        return self._conn.recv()
+
+    def close(self) -> None:
+        self._conn.close()
+        self.process.join(timeout=30.0)
+        if self.process.is_alive():  # pragma: no cover - hung child
+            self.process.terminate()
+
+
+def run_parsim(spec: ParsimSpec,
+               force_in_process: bool = False) -> ParsimResult:
+    """Run one :class:`ParsimSpec` to its horizon and merge the shards.
+
+    ``force_in_process`` runs every shard in this process (sequential
+    barrier execution) — bit-identical to the spawn runner, used by the
+    parity tests and on machines without usable multiprocessing.
+    """
+    _population, _spiky, topology = build_workload(spec)
+    region_names = topology.region_names
+    n_shards = spec.effective_shards
+    fallback_reason = None
+    if spec.n_shards > 1 and len(region_names) < 2:
+        # Degenerate: a single region's lookahead is its intra-region
+        # latency — there is no cross-region slack to hide a window
+        # behind, so parallelism is refused and the run stays serial.
+        n_shards = 1
+        fallback_reason = ("single-region topology: lookahead degenerates "
+                           "to intra-region latency; running serially")
+    elif spec.n_shards > spec.n_regions:
+        fallback_reason = (
+            f"clamped to one shard per region "
+            f"({spec.n_regions} regions)")
+
+    lookahead = topology.lookahead()
+    if lookahead <= 0:  # pragma: no cover - NetworkModel forbids this
+        raise ValueError("topology lookahead must be positive")
+    groups = partition_regions(region_names, n_shards)
+    shard_of = {r: i for i, group in enumerate(groups) for r in group}
+
+    use_processes = (n_shards > 1 and not force_in_process)
+    if use_processes:
+        ctx = mp.get_context("spawn")
+        shards: List[Any] = [_ProcShard(ctx, spec, i)
+                             for i in range(n_shards)]
+    else:
+        shards = [_LocalShard(spec, i) for i in range(n_shards)]
+
+    horizon = spec.horizon_s
+    #: Undelivered messages, kept sorted in canonical order.
+    pending: List[ShardMessage] = []
+    barriers = 0
+    messages_exchanged = 0
+    k = 1  # windows tracked by integer index: W = k·Δ, never accumulated
+    final_k = max(1, math.ceil(horizon / lookahead - _EPS))
+
+    try:
+        while True:
+            window_end = min(k * lookahead, horizon)
+            due: List[List[ShardMessage]] = [[] for _ in range(n_shards)]
+            n_due = 0
+            for msg in pending:
+                if msg.deliver_at <= window_end:
+                    due[shard_of[msg.dest_region]].append(msg)
+                    n_due += 1
+            if n_due:
+                pending = [m for m in pending
+                           if m.deliver_at > window_end]
+            for shard, inbox in zip(shards, due):
+                shard.advance_send(window_end, inbox)
+            next_times: List[float] = []
+            for shard in shards:
+                outbox, next_time = shard.advance_recv()
+                if outbox:
+                    messages_exchanged += len(outbox)
+                    pending.extend(outbox)
+                if next_time is not None:
+                    next_times.append(next_time)
+            barriers += 1
+            if window_end >= horizon:
+                break
+            if pending:
+                pending.sort(key=ShardMessage.sort_key)
+                next_times.append(pending[0].deliver_at)
+            if not next_times:
+                # Nothing anywhere: jump straight to the horizon window.
+                k = final_k
+                continue
+            candidate = min(next_times)
+            if candidate >= horizon:
+                k = final_k
+                continue
+            # Skip empty windows: everything in the skipped span is at
+            # t >= candidate, so its messages are due after the window
+            # containing candidate — injection stays strictly future.
+            k = max(k + 1, math.ceil(candidate / lookahead - _EPS))
+
+        finishes = [shard.finish() for shard in shards]
+    finally:
+        for shard in shards:
+            shard.close()
+
+    digest = TraceLog.combine_canonical(
+        [tuple(f["canonical_partial"]) for f in finishes])
+    metrics = MetricsRegistry.from_snapshot(finishes[0]["metrics"])
+    for f in finishes[1:]:
+        metrics.merge(f["metrics"])
+    return ParsimResult(
+        spec=spec,
+        digest=digest,
+        metrics=metrics,
+        submitted=sum(f["submitted"] for f in finishes),
+        throttled=sum(f["throttled"] for f in finishes),
+        completed=sum(f["completed"] for f in finishes),
+        backlog=sum(f["backlog"] for f in finishes),
+        events_executed=sum(f["events_executed"] for f in finishes),
+        n_shards=n_shards,
+        fallback_reason=fallback_reason,
+        barriers=barriers,
+        messages_exchanged=messages_exchanged,
+        owned_regions=[list(f["owned_regions"]) for f in finishes],
+    )
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (cgroup/affinity aware when possible)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

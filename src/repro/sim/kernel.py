@@ -130,6 +130,24 @@ class Simulator:
         self.call_after(delay, lambda: sig.fire(value))
         return sig
 
+    def inject(self, time: float, callback: Callable[[], None],
+               priority: int = 0) -> ScheduledEvent:
+        """Schedule an *external* event strictly after the current time.
+
+        The windowed-execution hook for :mod:`repro.parsim`: between two
+        ``run_until`` windows, a coordinator injects cross-shard messages
+        due in future windows.  Unlike :meth:`call_at`, scheduling *at*
+        the current instant is rejected — an already-completed window
+        must never gain events retroactively (the conservative-lookahead
+        contract guarantees every message is strictly in the future).
+        Injection order determines the same-time tiebreak ``seq``, so
+        callers must inject in a deterministic (canonical) order.
+        """
+        if time <= self._now:
+            raise SimulationError(
+                f"inject({time}) is not strictly after now={self._now}")
+        return self._queue.push(time, callback, priority)
+
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
@@ -199,6 +217,18 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events still queued."""
         return self._queue.live_count()
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest live event, or None when the queue is empty.
+
+        Purges cancelled heads as a side effect (same lazy-deletion pass
+        the run loop performs).  :mod:`repro.parsim` uses this to skip
+        empty synchronization windows: the global minimum next-event
+        time over all shards bounds how far every shard can jump without
+        anything happening in between.
+        """
+        head = self._queue._purge_head()
+        return None if head is None else float(head[0])
 
 
 class PeriodicTask:

@@ -1,0 +1,28 @@
+"""True positives for SL009: cross-region access bypassing the mailbox."""
+
+
+class ShardPlatform:
+    def __init__(self, schedulers, durableqs_by_region, workerlbs):
+        self.schedulers = schedulers
+        self.durableqs_by_region = durableqs_by_region
+        self.workerlbs = workerlbs
+        self.region = "region-00"
+
+    def steal_work(self, other_region):
+        # Driving another region's scheduler at this instant: its shard
+        # may live in a different process, and even in-process the tick
+        # happens a network latency too early.
+        self.schedulers[other_region].tick()
+
+    def peek_backlog(self, other_region):
+        # Reading remote mutable state without a message round trip.
+        return self.schedulers[other_region].pending_demand
+
+    def requeue_remote(self, call, r):
+        # nack_by_id is owner-side bookkeeping, not the handle surface —
+        # calling it across regions skips the delivery delay.
+        self.durableqs_by_region[r][0].nack_by_id(call.call_id)
+
+    def rebalance(self, other_region, workers):
+        # Mutating a foreign region's balancer directly.
+        self.workerlbs[other_region].add_workers(workers)

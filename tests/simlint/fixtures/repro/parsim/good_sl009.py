@@ -1,0 +1,34 @@
+"""True negatives for SL009: sanctioned region-map access patterns."""
+
+
+class ShardPlatform:
+    def __init__(self, schedulers, durableqs_by_region, frontends):
+        self.schedulers = schedulers
+        self.durableqs_by_region = durableqs_by_region
+        self.frontends = frontends
+        self.region = "region-00"
+        # Structural wiring may index any region freely.
+        self.schedulers["region-01"].on_done = self._on_done
+
+    def _on_done(self, call, outcome):
+        pass
+
+    def submit_local(self, call, region):
+        # The handle surface is identical for local queues and remote
+        # handles, so calls through it are mailbox-safe by construction.
+        return self.frontends[region].submit(call)
+
+    def poll_own_region(self, scheduler_id):
+        # A component's own region is the sanctioned synchronous path.
+        return self.durableqs_by_region[self.region][0].poll(
+            scheduler_id, 10)
+
+    def handle_message(self, msg):
+        # The mailbox's receiving end applies messages on the owner
+        # side — direct access here IS the protocol.
+        region, call_id = msg
+        self.durableqs_by_region[region][0].ack_by_id(call_id)
+
+    def register_function(self, spec, region):
+        # Registration runs O(1) times at construction.
+        self.schedulers[region].functions.append(spec)

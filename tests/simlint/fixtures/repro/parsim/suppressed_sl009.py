@@ -1,0 +1,10 @@
+"""Suppression check for SL009."""
+
+
+class DebugProbe:
+    def __init__(self, schedulers):
+        self.schedulers = schedulers
+
+    def dump(self, region):
+        # Test-only introspection, deliberately out-of-band.
+        return self.schedulers[region].pending_demand  # simlint: disable=SL009 -- debug probe

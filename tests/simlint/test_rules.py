@@ -20,6 +20,7 @@ CASES = {
     "SL006": ("core/bad_sl006.py", 3),
     "SL007": ("core/bad_sl007.py", 4),
     "SL008": ("core/bad_sl008.py", 5),
+    "SL009": ("parsim/bad_sl009.py", 4),
 }
 
 GOOD = {
@@ -31,6 +32,7 @@ GOOD = {
     "SL006": "core/good_sl006.py",
     "SL007": "core/good_sl007.py",
     "SL008": "core/good_sl008.py",
+    "SL009": "parsim/good_sl009.py",
 }
 
 SUPPRESSED = {
@@ -42,6 +44,7 @@ SUPPRESSED = {
     "SL006": "core/suppressed_sl006.py",
     "SL007": "core/suppressed_sl007.py",
     "SL008": "core/suppressed_sl008.py",
+    "SL009": "parsim/suppressed_sl009.py",
 }
 
 
@@ -102,7 +105,7 @@ class TestRegistry:
     def test_all_rules_registered(self):
         assert sorted(rules_by_id()) == [
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-            "SL008"]
+            "SL008", "SL009"]
 
     def test_every_rule_documents_itself(self):
         for rule in ALL_RULES:
