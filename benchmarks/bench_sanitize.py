@@ -1,0 +1,125 @@
+"""Sanitizer overhead benchmark: simsan's cost on the reference dayrun.
+
+Runs the shared ``conftest.build_dayrun`` workload twice — plain and
+under ``sanitize=True`` — and records the wall-time overhead ratio into
+``BENCH_kernel.json``.  Digest equality between the two runs is a hard
+assertion (the sanitizer's contract is bit-identical behavior); the
+overhead ratio is informational with a 2x target.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sanitize.py
+        # full (1 h horizon), appends a record
+    PYTHONPATH=src python benchmarks/bench_sanitize.py --quick
+        # short smoke run (10 min horizon)
+    PYTHONPATH=src python benchmarks/bench_sanitize.py --quick --check
+        # CI/no-write mode: exits 1 on digest divergence; overhead is
+        # reported but never gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+BENCH_FILE = REPO_ROOT / "BENCH_kernel.json"
+
+sys.path.insert(0, str(BENCH_DIR))
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_speed import load_records, provenance  # noqa: E402
+from conftest import build_dayrun  # noqa: E402
+
+FULL_HORIZON_S = 3600.0
+QUICK_HORIZON_S = 600.0
+OVERHEAD_TARGET = 2.0
+
+
+def timed_run(horizon_s: float, sanitize: bool) -> dict:
+    # Harness timing, not simulated time.
+    t0 = time.perf_counter()  # simlint: disable=SL002
+    run = build_dayrun(horizon_s=horizon_s, sanitize=sanitize)
+    wall_s = time.perf_counter() - t0  # simlint: disable=SL002
+    return {
+        "wall_s": round(wall_s, 3),
+        "events_executed": run.sim.events_executed,
+        "events_per_sec": round(run.sim.events_executed / wall_s, 1),
+        "trace_digest": run.platform.traces.digest(),
+    }
+
+
+def run_benchmark(mode: str, label: str = "") -> dict:
+    horizon = QUICK_HORIZON_S if mode == "quick" else FULL_HORIZON_S
+    plain = timed_run(horizon, sanitize=False)
+    sanitized = timed_run(horizon, sanitize=True)
+    return {
+        "mode": f"sanitize-{mode}",
+        "label": label,
+        "horizon_s": horizon,
+        "plain": plain,
+        "sanitized": sanitized,
+        "overhead_x": round(sanitized["wall_s"] / plain["wall_s"], 3),
+        "digest_parity": plain["trace_digest"] == sanitized["trace_digest"],
+        "trace_digest": plain["trace_digest"],
+        **provenance(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short smoke run instead of the 1 h dayrun")
+    parser.add_argument("--check", action="store_true",
+                        help="no file write; exit 1 on sanitized-vs-plain "
+                             "digest divergence")
+    parser.add_argument("--label", default="",
+                        help="free-form description stored with the record")
+    args = parser.parse_args(argv)
+
+    mode = "quick" if args.quick else "full"
+    rec = run_benchmark(mode, args.label)
+    print(f"[sanitize-{mode}] plain {rec['plain']['wall_s']:.2f}s "
+          f"({rec['plain']['events_per_sec']:.0f} ev/s), sanitized "
+          f"{rec['sanitized']['wall_s']:.2f}s "
+          f"({rec['sanitized']['events_per_sec']:.0f} ev/s) -> "
+          f"{rec['overhead_x']:.2f}x overhead "
+          f"(target <= {OVERHEAD_TARGET:.0f}x, informational)")
+    print("digest parity: "
+          f"{'identical' if rec['digest_parity'] else 'DIVERGED'} "
+          f"({rec['trace_digest'][:12]}...)")
+
+    if not rec["digest_parity"]:
+        print("FAIL: the sanitized run diverged from the plain run — "
+              "a simsan check perturbed simulation behavior")
+        return 1
+    if rec["overhead_x"] > OVERHEAD_TARGET:
+        print(f"note: overhead {rec['overhead_x']:.2f}x exceeds the "
+              f"{OVERHEAD_TARGET:.0f}x target (informational, not a gate)")
+
+    if args.check:
+        print("OK: sanitized run is bit-identical to the plain run")
+        return 0
+
+    records = load_records()
+    newest = next((r for r in reversed(records)
+                   if r.get("mode") == rec["mode"]), {})
+    if newest and newest.get("label") == rec["label"] and \
+            newest.get("trace_digest") == rec["trace_digest"] and \
+            newest.get("digest_parity"):
+        print(f"unchanged: newest sanitize-{mode} record already has this "
+              "label and trace digest; not appending")
+        return 0
+    records.append(rec)
+    BENCH_FILE.write_text(json.dumps(records, indent=1) + "\n")
+    print(f"appended record to {BENCH_FILE}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,7 +55,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.shards is not None:
         return _cmd_simulate_parallel(args)
     horizon_s = args.hours * 3600.0
-    sim = Simulator(seed=args.seed, queue_backend=args.queue_backend)
+    sim = Simulator(seed=args.seed, queue_backend=args.queue_backend,
+                    sanitize=args.sanitize)
     diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=args.peak_to_trough)
     population = build_population(
         n_functions=args.functions, total_rate=args.rate,
@@ -160,7 +161,8 @@ def _cmd_simulate_parallel(args: argparse.Namespace) -> int:
         opportunistic_fraction=args.opportunistic,
         peak_to_trough=args.peak_to_trough,
         target_utilization=args.target_utilization,
-        n_shards=args.shards, queue_backend=args.queue_backend)
+        n_shards=args.shards, queue_backend=args.queue_backend,
+        sanitize=args.sanitize)
     if not args.json:
         print(f"simulating {args.hours} h, {args.rate} calls/s mean, "
               f"{args.regions} regions on {spec.effective_shards} "
@@ -175,6 +177,7 @@ def _cmd_simulate_parallel(args: argparse.Namespace) -> int:
             "functions": args.functions, "regions": args.regions,
             "seed": args.seed, "shards": args.shards,
             "queue_backend": args.queue_backend,
+            "sanitize": args.sanitize,
         }
         print(json.dumps(doc, indent=1))
     else:
@@ -212,6 +215,7 @@ def _simulate_summary(args: argparse.Namespace, platform: XFaaS,
             "locality_groups": args.locality_groups,
             "time_shifting": not args.no_time_shifting,
             "global_dispatch": not args.no_global_dispatch,
+            "sanitize": args.sanitize,
         },
         "events_executed": sim.events_executed,
         "submitted": platform.submitted_count,
@@ -407,6 +411,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("heap", "calendar"),
                        help="kernel event-queue implementation (both are "
                             "bit-identical; calendar is faster at scale)")
+    sim_p.add_argument("--sanitize", action="store_true",
+                       help="run under the simsan runtime sanitizer: "
+                            "bit-identical digest, but cross-shard "
+                            "access / RNG-order / dict-order violations "
+                            "raise (works serially and with --shards)")
     sim_p.add_argument("--expect-digest", metavar="SHA256",
                        help="fail unless the run's trace digest matches "
                             "(CI parity check)")
@@ -471,7 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
     # bpo-17050); it is registered here only so --help lists it.
     sub.add_parser("lint",
                    help="determinism & sim-safety static analysis "
-                        "(SL001-SL007; see `python -m repro lint --help`)")
+                        "(SL001-SL012; see `python -m repro lint --help`)")
 
     life_p = sub.add_parser("lifecycle",
                             help="print the Figure 1 lifecycle cost table")

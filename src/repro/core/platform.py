@@ -28,6 +28,7 @@ from ..metrics.recorder import MetricsRegistry
 from ..metrics.timeseries import Counter
 from ..sim.kernel import Simulator
 from ..sim.sampler import SamplerHub
+from ..sim.simsan import region_map
 from ..workloads.spec import FunctionSpec, QuotaType
 from ..workloads.trace import TraceLog
 from .call import CallIdAllocator, CallOutcome, FunctionCall
@@ -127,8 +128,17 @@ class XFaaS:
         self.namespaces.create(ns)
         regions = topology.region_names
 
+        # simsan (opt-in): the serial platform owns every region, so no
+        # restriction is applied — the proxies still enforce sorted
+        # iteration and the RNG streams check draw-time monotonicity,
+        # and region_guard() can scope a block in tests.
+        sanitizer = sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.register_regions(regions)
+
         # --- Stateful storage: sharded DurableQs per region -----------
-        self.durableqs_by_region: Dict[str, List[DurableQ]] = {}
+        self.durableqs_by_region: Dict[str, List[DurableQ]] = \
+            region_map(sanitizer, "durableqs_by_region")
         for r in regions:
             shards = [DurableQ(sim, name=f"dq/{r}/{i}", region=r)
                       for i in range(params.durableq_shards_per_region)]
@@ -166,11 +176,16 @@ class XFaaS:
                 regions, shards, locality_bias=params.queuelb_locality_bias))
 
         # --- Per-region pipeline --------------------------------------
-        self.workers_by_region: Dict[str, List[Worker]] = {}
-        self.workerlbs: Dict[str, WorkerLB] = {}
-        self.schedulers: Dict[str, Scheduler] = {}
-        self.frontends: Dict[str, SubmitterFrontend] = {}
-        self.queuelbs: Dict[str, QueueLB] = {}
+        self.workers_by_region: Dict[str, List[Worker]] = \
+            region_map(sanitizer, "workers_by_region")
+        self.workerlbs: Dict[str, WorkerLB] = \
+            region_map(sanitizer, "workerlbs")
+        self.schedulers: Dict[str, Scheduler] = \
+            region_map(sanitizer, "schedulers")
+        self.frontends: Dict[str, SubmitterFrontend] = \
+            region_map(sanitizer, "frontends")
+        self.queuelbs: Dict[str, QueueLB] = \
+            region_map(sanitizer, "queuelbs")
 
         for r in regions:
             n_workers = topology.region(r).workers_for(ns)
@@ -436,5 +451,8 @@ class XFaaS:
         first_region = self.topology.region_names[0]
         workers = self.workers_by_region[first_region]
         if workers:
-            self.metrics.gauge("worker.sample.memory_mb").set(
-                now, workers[0].memory_in_use_mb)
+            # Legitimate: the serial platform owns every region; the
+            # canonical first-region sample never runs under parsim
+            # (ShardPlatform guards on owned regions instead).
+            mem = workers[0].memory_in_use_mb  # simlint: disable=SL010
+            self.metrics.gauge("worker.sample.memory_mb").set(now, mem)

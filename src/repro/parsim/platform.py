@@ -60,6 +60,7 @@ from ..metrics.timeseries import Counter
 from ..scenarios import default_dayrun_params
 from ..sim.kernel import Simulator
 from ..sim.sampler import SamplerHub
+from ..sim.simsan import region_map
 from ..workloads.generator import (
     ArrivalGenerator,
     attach_spike,
@@ -163,6 +164,16 @@ class ShardPlatform:
         self.owned_regions = sorted(owned_regions)
         self._owned_set = frozenset(self.owned_regions)
         self.all_regions = topology.region_names
+
+        # simsan (opt-in): this shard owns exactly ``owned_regions`` —
+        # restrict the sanitizer so any direct touch of a foreign
+        # region's map entry or RNG stream raises.  Replicated streams
+        # (arrivals, client-region, resources/*) name no region and
+        # stay unrestricted by construction.
+        sanitizer = sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.register_regions(self.all_regions)
+            sanitizer.restrict(self.owned_regions)
         network = topology.network
         self.network = network
         self._report_delay = network.max_latency()
@@ -213,17 +224,28 @@ class ShardPlatform:
             self.config.publish(S_MULTIPLIER_KEY, 1.0e9)
 
         # --- Partitioned data plane (owned regions, sorted order) -----
-        self.durableqs_by_region: Dict[str, List[DurableQ]] = {}
-        self.workers_by_region: Dict[str, List[Worker]] = {}
-        self.workerlbs: Dict[str, WorkerLB] = {}
-        self.schedulers: Dict[str, Scheduler] = {}
-        self.queuelbs: Dict[str, QueueLB] = {}
-        self.frontends: Dict[str, SubmitterFrontend] = {}
-        self.rate_limiters: Dict[str, CentralRateLimiter] = {}
-        self.client_limiters: Dict[str, ClientRateLimiter] = {}
-        self.congestion_by_region: Dict[str, CongestionController] = {}
-        self.locality_by_region: Dict[str, LocalityOptimizer] = {}
-        self.services_by_region: Dict[str, ServiceRegistry] = {}
+        self.durableqs_by_region: Dict[str, List[DurableQ]] = \
+            region_map(sanitizer, "durableqs_by_region")
+        self.workers_by_region: Dict[str, List[Worker]] = \
+            region_map(sanitizer, "workers_by_region")
+        self.workerlbs: Dict[str, WorkerLB] = \
+            region_map(sanitizer, "workerlbs")
+        self.schedulers: Dict[str, Scheduler] = \
+            region_map(sanitizer, "schedulers")
+        self.queuelbs: Dict[str, QueueLB] = \
+            region_map(sanitizer, "queuelbs")
+        self.frontends: Dict[str, SubmitterFrontend] = \
+            region_map(sanitizer, "frontends")
+        self.rate_limiters: Dict[str, CentralRateLimiter] = \
+            region_map(sanitizer, "rate_limiters")
+        self.client_limiters: Dict[str, ClientRateLimiter] = \
+            region_map(sanitizer, "client_limiters")
+        self.congestion_by_region: Dict[str, CongestionController] = \
+            region_map(sanitizer, "congestion_by_region")
+        self.locality_by_region: Dict[str, LocalityOptimizer] = \
+            region_map(sanitizer, "locality_by_region")
+        self.services_by_region: Dict[str, ServiceRegistry] = \
+            region_map(sanitizer, "services_by_region")
         self._quota_share: Dict[str, float] = {
             r: max(shares.get(r, 0.0), 1e-9) for r in self.all_regions}
         self._remote_handles: Dict[Tuple[str, str, int],
@@ -438,6 +460,12 @@ class ShardPlatform:
         below the topology lookahead, which is what guarantees the
         delivery time falls strictly beyond the current window.
         """
+        if self.sim.sanitizer is not None:
+            # A shard may only *originate* messages from regions it
+            # owns; forging a foreign source would desynchronize the
+            # canonical (deliver_at, src_region, src_seq) merge order.
+            self.sim.sanitizer.check_region(
+                src_region, f"send({kind!r}) source")
         self._outbox.append(ShardMessage(
             deliver_at=self.sim.now + delay_s, src_region=src_region,
             src_seq=self._out_seq, dest_region=dest_region, kind=kind,
@@ -682,7 +710,8 @@ def build_shard(spec: ParsimSpec, shard_index: int) -> ShardPlatform:
     if not 0 <= shard_index < n_shards:
         raise ValueError(
             f"shard_index {shard_index} out of range for {n_shards} shards")
-    sim = Simulator(seed=spec.seed, queue_backend=spec.queue_backend)
+    sim = Simulator(seed=spec.seed, queue_backend=spec.queue_backend,
+                    sanitize=spec.sanitize)
     population, spiky_function, topology = build_workload(spec)
     params = default_dayrun_params()
     if params.collect_traces != spec.collect_traces:

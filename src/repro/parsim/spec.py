@@ -43,6 +43,9 @@ class ParsimSpec:
     n_shards: int = 1
     queue_backend: Optional[str] = None
     collect_traces: bool = True
+    #: Run every shard under the repro.sim.simsan runtime sanitizer
+    #: (bit-identical digests; cross-shard violations raise).
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.scenario not in PARSIM_SCENARIOS:

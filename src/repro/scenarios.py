@@ -79,7 +79,8 @@ def build_dayrun(seed: int = 7, total_rate: float = 8.0,
                  target_utilization: float = 0.70,
                  overrides: Optional[dict] = None,
                  profiler: Optional[object] = None,
-                 queue_backend: Optional[str] = None) -> DayRun:
+                 queue_backend: Optional[str] = None,
+                 sanitize: bool = False) -> DayRun:
     """Build and run the shared full-day simulation.
 
     The default invocation reproduces the paper-shaped workload used by
@@ -96,8 +97,13 @@ def build_dayrun(seed: int = 7, total_rate: float = 8.0,
 
     ``queue_backend`` selects the kernel's event-queue implementation
     (``"heap"`` or ``"calendar"``); both produce bit-identical traces.
+
+    ``sanitize`` runs the whole scenario under the
+    :mod:`repro.sim.simsan` runtime sanitizer; behavior (and the trace
+    digest) is bit-identical, but determinism violations raise.
     """
-    sim = Simulator(seed=seed, queue_backend=queue_backend)
+    sim = Simulator(seed=seed, queue_backend=queue_backend,
+                    sanitize=sanitize)
     if profiler is not None:
         sim.profiler = profiler
     diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=peak_to_trough)
@@ -156,7 +162,8 @@ def build_fleetrun(n_workers: int, seed: int = 7,
                    opportunistic_fraction: float = 0.5,
                    queue_backend: Optional[str] = None,
                    overrides: Optional[dict] = None,
-                   run_sim: bool = True) -> DayRun:
+                   run_sim: bool = True,
+                   sanitize: bool = False) -> DayRun:
     """Build and run a dayrun slice over an *explicit-size* worker fleet.
 
     The scale-ladder companion to :func:`build_dayrun`: the workload
@@ -174,7 +181,8 @@ def build_fleetrun(n_workers: int, seed: int = 7,
     if n_workers < n_regions:
         raise ValueError(
             f"n_workers={n_workers} must be >= n_regions={n_regions}")
-    sim = Simulator(seed=seed, queue_backend=queue_backend)
+    sim = Simulator(seed=seed, queue_backend=queue_backend,
+                    sanitize=sanitize)
     diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=4.3)
     population = build_population(
         n_functions=n_functions, total_rate=total_rate,

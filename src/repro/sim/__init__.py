@@ -18,6 +18,13 @@ from .kernel import (
 from .process import Process, ProcessKilled, spawn
 from .resources import Resource, Store
 from .rng import RngRegistry, RngStream, derive_seed
+from .simsan import (
+    RegionMapProxy,
+    SanitizeError,
+    SanitizedRngRegistry,
+    SanitizedRngStream,
+    Sanitizer,
+)
 
 __all__ = [
     "CalendarQueue",
@@ -28,9 +35,14 @@ __all__ = [
     "PeriodicTask",
     "Process",
     "ProcessKilled",
+    "RegionMapProxy",
     "Resource",
     "RngRegistry",
     "RngStream",
+    "SanitizeError",
+    "SanitizedRngRegistry",
+    "SanitizedRngStream",
+    "Sanitizer",
     "ScheduledEvent",
     "Signal",
     "SimulationError",

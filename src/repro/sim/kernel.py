@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, Optional, Type
 from .calqueue import CalendarQueue
 from .events import EventQueue, ScheduledEvent, Signal
 from .rng import RngRegistry
+from .simsan import Sanitizer, SanitizedRngRegistry
 
 
 class SimulationError(Exception):
@@ -50,10 +51,18 @@ class Simulator:
         Event-queue implementation, a key of :data:`QUEUE_BACKENDS`
         (``"heap"`` or ``"calendar"``).  Execution order — and thus
         every trace — is identical across backends.
+    sanitize:
+        Install the :mod:`repro.sim.simsan` runtime sanitizer: the RNG
+        registry mints checking streams and ``self.sanitizer`` is set
+        so platforms wrap their region maps.  The sanitized run is
+        bit-identical to the unsanitized one (checks observe, never
+        draw or reorder); violations raise
+        :class:`~repro.sim.simsan.SanitizeError`.
     """
 
     def __init__(self, seed: int = 0,
-                 queue_backend: Optional[str] = None) -> None:
+                 queue_backend: Optional[str] = None,
+                 sanitize: bool = False) -> None:
         self._now = 0.0
         backend = (queue_backend if queue_backend is not None
                    else DEFAULT_QUEUE_BACKEND)
@@ -65,7 +74,16 @@ class Simulator:
                 f"expected one of {sorted(QUEUE_BACKENDS)}") from None
         self._queue = queue_cls()
         self.queue_backend = backend
-        self.rng = RngRegistry(seed)
+        #: Runtime sanitizer, or None when ``sanitize`` is off.  Set
+        #: before the RNG registry so every stream ever minted (incl.
+        #: the ones PeriodicTask binds at init) goes through the checks.
+        self.sanitizer: Optional[Sanitizer] = None
+        if sanitize:
+            self.sanitizer = Sanitizer(self)
+            self.rng: RngRegistry = SanitizedRngRegistry(
+                seed, self.sanitizer)
+        else:
+            self.rng = RngRegistry(seed)
         self._running = False
         self._stopped = False
         self.events_executed = 0

@@ -6,10 +6,14 @@ so a new (or newly error-severity) rule can land in CI immediately:
 existing violations are frozen in the committed baseline and every *new*
 violation still fails the build.  Shrinking the baseline is the ratchet.
 
-Fingerprints are ``(rule, module, stripped source line)`` — deliberately
-not line *numbers*, so unrelated edits above a finding do not invalidate
-the baseline.  Identical lines in one module are matched up to the
-baselined count.
+Version-2 fingerprints are ``(rule, normalized path, normalized source
+text)`` — deliberately not line *numbers*, so unrelated edits above a
+finding do not invalidate the baseline.  The path is normalized to start
+at its last ``repro``/``tests``/``benchmarks`` segment (stable across
+checkouts and ``src/`` vs installed layouts) and the text is whitespace
+collapsed.  Identical lines in one file are matched up to the baselined
+count.  Version-1 baselines (keyed on the dotted module name instead of
+the path) still load; ``repro lint --migrate-baseline`` rewrites them.
 """
 
 from __future__ import annotations
@@ -23,10 +27,37 @@ from .engine import Finding
 
 _Fingerprint = Tuple[str, str, str]
 
+#: Path segments a v2 fingerprint anchors on (last occurrence wins).
+_PATH_ANCHORS = frozenset({"repro", "tests", "benchmarks"})
 
-def _fingerprint(finding: Finding,
-                 source_line: str) -> _Fingerprint:
+CURRENT_VERSION = 2
+
+
+def _normalize_path(path: str) -> str:
+    """Tail of ``path`` from its last anchor segment, ``/``-separated.
+
+    ``src/repro/sim/kernel.py`` and an installed
+    ``.../site-packages/repro/sim/kernel.py`` both normalize to
+    ``repro/sim/kernel.py``, so baselines survive layout moves.
+    """
+    parts = Path(path).as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] in _PATH_ANCHORS:
+            return "/".join(parts[i:])
+    return "/".join(parts)
+
+
+def _normalize_text(line: str) -> str:
+    return " ".join(line.split())
+
+
+def _fingerprint_v1(finding: Finding, source_line: str) -> _Fingerprint:
     return (finding.rule_id, finding.module, source_line.strip())
+
+
+def _fingerprint_v2(finding: Finding, source_line: str) -> _Fingerprint:
+    return (finding.rule_id, _normalize_path(finding.path),
+            _normalize_text(source_line))
 
 
 def _finding_line(finding: Finding) -> str:
@@ -40,38 +71,49 @@ def _finding_line(finding: Finding) -> str:
 class Baseline:
     """A multiset of accepted finding fingerprints."""
 
-    def __init__(self, counts: Dict[_Fingerprint, int]) -> None:
+    def __init__(self, counts: Dict[_Fingerprint, int],
+                 version: int = CURRENT_VERSION) -> None:
         self._counts = Counter(counts)
+        self.version = version
 
     def __len__(self) -> int:
         return sum(self._counts.values())
 
+    def _key(self, finding: Finding) -> _Fingerprint:
+        line = _finding_line(finding)
+        if self.version == 1:
+            return _fingerprint_v1(finding, line)
+        return _fingerprint_v2(finding, line)
+
     @classmethod
     def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Snapshot ``findings`` at the current fingerprint version."""
         counts: Counter = Counter()
         for f in findings:
-            counts[_fingerprint(f, _finding_line(f))] += 1
+            counts[_fingerprint_v2(f, _finding_line(f))] += 1
         return cls(dict(counts))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Baseline":
         doc = json.loads(Path(path).read_text(encoding="utf-8"))
-        if doc.get("version") != 1:
+        version = doc.get("version")
+        if version not in (1, CURRENT_VERSION):
             raise ValueError(
-                f"unsupported baseline version {doc.get('version')!r} "
-                f"in {path}")
+                f"unsupported baseline version {version!r} in {path}")
+        location_key = "module" if version == 1 else "path"
         counts: Dict[_Fingerprint, int] = {}
         for entry in doc.get("findings", []):
-            key = (entry["rule"], entry["module"], entry["text"])
+            key = (entry["rule"], entry[location_key], entry["text"])
             counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
-        return cls(counts)
+        return cls(counts, version=version)
 
     def save(self, path: Union[str, Path]) -> None:
-        entries = [{"rule": rule, "module": module, "text": text,
+        location_key = "module" if self.version == 1 else "path"
+        entries = [{"rule": rule, location_key: location, "text": text,
                     "count": count}
-                   for (rule, module, text), count
+                   for (rule, location, text), count
                    in sorted(self._counts.items())]
-        doc = {"version": 1, "findings": entries}
+        doc = {"version": self.version, "findings": entries}
         Path(path).write_text(json.dumps(doc, indent=1) + "\n",
                               encoding="utf-8")
 
@@ -80,7 +122,7 @@ class Baseline:
         budget = Counter(self._counts)
         fresh: List[Finding] = []
         for f in findings:
-            key = _fingerprint(f, _finding_line(f))
+            key = self._key(f)
             if budget[key] > 0:
                 budget[key] -= 1
             else:

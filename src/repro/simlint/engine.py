@@ -11,6 +11,14 @@ Adding a rule is ~30 lines: subclass :class:`Rule`, set ``id`` /
 over ``ctx.walk()``, and append an instance to
 :data:`repro.simlint.rules.ALL_RULES` (with fixtures in
 ``tests/simlint/fixtures``).
+
+Rules that need to see *across* files — the interprocedural shard-safety
+analyses SL010–SL012 — subclass :class:`ProjectRule` instead and
+implement :meth:`ProjectRule.check_project` over a :class:`Project`,
+which holds every parsed :class:`LintContext` of the run plus a shared
+cache for expensive whole-program artifacts (the call graph and flow
+summaries built by :mod:`repro.simlint.callgraph` /
+:mod:`repro.simlint.flow`).
 """
 
 from __future__ import annotations
@@ -126,6 +134,16 @@ class LintContext:
             if m:
                 self.line_suppressions[lineno] = _parse_rule_list(m.group(1))
 
+        # A finding on a decorated def/class carries the ``def`` line
+        # (py3.8+ semantics), but the natural place to annotate is often
+        # the decorator above it — honor suppressions on either.
+        self._companion_lines: Dict[int, Tuple[int, ...]] = {}
+        for node in self._nodes:
+            decorators = getattr(node, "decorator_list", None)
+            if decorators:
+                self._companion_lines[node.lineno] = tuple(
+                    d.lineno for d in decorators)
+
     # -- scope helpers ---------------------------------------------------
     def walk(self) -> Sequence[ast.AST]:
         """Every node of the module, in ``ast.walk`` order (cached)."""
@@ -192,8 +210,11 @@ class LintContext:
         rid = rule_id.upper()
         if rid in self.file_suppressions or "ALL" in self.file_suppressions:
             return True
-        on_line = self.line_suppressions.get(line, frozenset())
-        return rid in on_line or "ALL" in on_line
+        for lineno in (line,) + self._companion_lines.get(line, ()):
+            on_line = self.line_suppressions.get(lineno, frozenset())
+            if rid in on_line or "ALL" in on_line:
+                return True
+        return False
 
     # -- finding factory -------------------------------------------------
     def finding(self, rule: "Rule", node: ast.AST,
@@ -220,12 +241,54 @@ class Rule:
     fix_hint: str = ""
     packages: Optional[frozenset] = None
 
-    def applies_to(self, ctx: LintContext) -> bool:
+    def applies_to(self, ctx: LintContext,
+                   include_foreign: bool = False) -> bool:
         if self.packages is None:
             return True
-        return ctx.package is not None and ctx.package in self.packages
+        if ctx.package is None:
+            # Files outside the repro tree (benchmarks/, tests/ helpers)
+            # are normally out of scope; ``--include-foreign`` opts the
+            # explicitly selected rules into them.
+            return include_foreign
+        return ctx.package in self.packages
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class Project:
+    """Every parsed module of one lint run, for whole-program rules.
+
+    ``cache`` is shared by all :class:`ProjectRule` instances of the
+    run, so the call graph / flow summaries are built once however many
+    interprocedural rules consume them.
+    """
+
+    def __init__(self, contexts: Sequence[LintContext]) -> None:
+        self.contexts: List[LintContext] = list(contexts)
+        self.by_module: Dict[str, LintContext] = {
+            ctx.module: ctx for ctx in self.contexts}
+        self.cache: Dict[str, object] = {}
+
+
+class ProjectRule(Rule):
+    """A rule whose scope is the whole lint run, not one module.
+
+    ``check_project`` sees every module at once (via :class:`Project`)
+    and may resolve calls across files; findings still carry the
+    specific file/line they anchor to, and per-line suppressions apply
+    exactly as for single-file rules.  Package scoping (``packages``)
+    is enforced by the engine on each finding's *owning module*, so an
+    interprocedural analysis may traverse helpers outside its scope but
+    only ever reports inside it.
+    """
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        # Single-module entry points wrap the context in a one-file
+        # project; intra-module interprocedural findings still surface.
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
         raise NotImplementedError
 
 
@@ -252,26 +315,53 @@ def _package_of(module: str) -> Optional[str]:
     return parts[1]        # repro.core.call -> "core"
 
 
+def _syntax_error_finding(exc: SyntaxError, path: str,
+                          module: Optional[str]) -> Finding:
+    return Finding(rule_id="SL000", severity=Severity.ERROR, path=path,
+                   module=module or "", line=exc.lineno or 1,
+                   col=(exc.offset or 1) - 1,
+                   message=f"syntax error: {exc.msg}",
+                   fix_hint="simlint needs parseable Python")
+
+
+def _run_rules(contexts: Sequence[LintContext], rules: Sequence[Rule],
+               include_foreign: bool = False) -> List[Finding]:
+    """Per-file rules on each context, then project rules over all."""
+    findings: List[Finding] = []
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    for ctx in contexts:
+        for rule in file_rules:
+            if not rule.applies_to(ctx, include_foreign):
+                continue
+            for finding in rule.check(ctx):
+                if not ctx.is_suppressed(finding.rule_id, finding.line):
+                    findings.append(finding)
+    if project_rules:
+        project = Project(contexts)
+        by_path = {ctx.path: ctx for ctx in contexts}
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                ctx = by_path.get(finding.path)
+                if ctx is None:
+                    findings.append(finding)
+                    continue
+                if not rule.applies_to(ctx, include_foreign):
+                    continue
+                if not ctx.is_suppressed(finding.rule_id, finding.line):
+                    findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
 def lint_source(source: str, path: str, rules: Sequence[Rule],
                 module: Optional[str] = None) -> List[Finding]:
     """Lint one module's source text; returns unsuppressed findings."""
     try:
         ctx = LintContext(source, path, module=module)
     except SyntaxError as exc:
-        return [Finding(rule_id="SL000", severity=Severity.ERROR, path=path,
-                        module=module or "", line=exc.lineno or 1,
-                        col=(exc.offset or 1) - 1,
-                        message=f"syntax error: {exc.msg}",
-                        fix_hint="simlint needs parseable Python")]
-    findings: List[Finding] = []
-    for rule in rules:
-        if not rule.applies_to(ctx):
-            continue
-        for finding in rule.check(ctx):
-            if not ctx.is_suppressed(finding.rule_id, finding.line):
-                findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    return findings
+        return [_syntax_error_finding(exc, path, module)]
+    return _run_rules([ctx], rules)
 
 
 def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
@@ -287,10 +377,23 @@ def iter_python_files(paths: Iterable[Union[str, Path]]) -> Iterator[Path]:
 
 
 def lint_paths(paths: Iterable[Union[str, Path]],
-               rules: Sequence[Rule]) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths`` with ``rules``."""
+               rules: Sequence[Rule],
+               include_foreign: bool = False) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths`` with ``rules``.
+
+    All files are parsed before any project-scoped rule runs, so the
+    interprocedural analyses see the whole call graph of the run.
+    ``include_foreign`` extends package-scoped rules to files outside
+    the ``repro`` tree (the benchmarks/tests lint lane).
+    """
+    contexts: List[LintContext] = []
     findings: List[Finding] = []
     for file in iter_python_files(paths):
         source = file.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, str(file), rules))
+        try:
+            contexts.append(LintContext(source, str(file)))
+        except SyntaxError as exc:
+            findings.append(_syntax_error_finding(exc, str(file), None))
+    findings.extend(_run_rules(contexts, rules, include_foreign))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings

@@ -1,0 +1,818 @@
+"""Ownership-taint dataflow for the shard-safety rules SL010–SL012.
+
+SL009 is syntactic: it flags ``self.schedulers[r].poke()`` written in
+one expression, and nothing else.  This module supplies the semantic
+version.  It runs a small interprocedural analysis over the whole lint
+run (every :class:`~repro.simlint.engine.LintContext`, connected by
+:mod:`repro.simlint.callgraph`):
+
+**Lattice.**  Values derived from region-keyed component maps
+(``durableqs_by_region[r]``, ``schedulers[r]``, WorkerArrays rows
+``workers_by_region[r][i]``, per-shard rate limiters …) carry a
+*shard-owned* taint ``RegionTaint(map, key)``.  The key half is a tiny
+lattice: ``owned`` (``self.region``, aliases of it, loop variables over
+``owned_regions`` or over the map's own keys/items — the sanctioned
+local surface), ``("param", fn, i)`` (abstract — the function's caller
+decides, via summaries), and ``nonowned`` (everything else: foreign
+literals, attributes, unrelated locals).
+
+**Alias tracking.**  A linear forward walk per function propagates
+taint through assignments, tuple unpacking, element subscripts
+(``workers_by_region[r][0]`` rows stay tainted), returns of helpers,
+and method receivers.  Nested ``def``s and lambdas are walked with the
+enclosing environment, so closures see the taints they capture.
+
+**Summaries.**  Each function gets a fixpoint summary: which params it
+deep-uses or mutates as *values*, which params it uses as *region keys*
+(and whether the selected component is read or mutated), and whether it
+returns a tainted value (keyed how).  Call sites consult callee
+summaries, so ``self._kick(other_region)`` is reported even though the
+map access lives inside ``_kick``.
+
+Findings (dispatched by :mod:`repro.simlint.rules_flow`):
+
+* ``deep`` use of a ``nonowned``-keyed taint   → SL010
+* taint captured by a closure handed to a Pipe-crossing call → SL011
+* mutation of a ``nonowned``-keyed taint (aliased or a direct
+  subscript store, which SL009 cannot see)    → SL012
+
+Direct ``map[key].attr`` expressions are *excluded* here — they are
+SL009's findings, and suppressing SL009 on such a line must not
+resurface the same defect under SL010.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from .callgraph import FunctionInfo, ProjectIndex, project_index
+from .engine import LintContext, Project
+
+# -- the key lattice ----------------------------------------------------
+OWNED = "owned"
+NONOWNED = "nonowned"
+#: ``("param", qualname, index)`` — abstract, resolved at call sites.
+KeyRef = Union[str, Tuple[str, str, int]]
+
+#: Mirrors SL009's notion of a region-keyed component map.  Kept as a
+#: separate copy so rules.py and flow.py have no import cycle; a test
+#: asserts the two stay identical.
+REGION_MAPS = re.compile(
+    r"(_by_region$)|^(schedulers|workerlbs|queuelbs|frontends)$")
+#: The queue surface identical on DurableQ and RemoteRegionHandle.
+HANDLE_METHODS = frozenset(
+    {"poll", "ack", "nack", "extend_lease", "enqueue", "ready_count",
+     "pending_count", "leased_count", "submit"})
+#: Structural code plus the mailbox receiving end (same as SL009).
+EXEMPT = re.compile(
+    r"^(__init__|__post_init__|_?register\w*|_?add_\w+|_?build\w*|"
+    r"_?setup\w*|start|stop|close|shutdown|handle_message|"
+    r"_?apply\w*)$")
+
+#: Method calls that mutate their receiver; a cross-shard *read* is a
+#: parity hazard (SL010), a cross-shard *write* corrupts the other
+#: shard's state outright (SL012).
+MUTATING_METHODS = frozenset(
+    {"append", "appendleft", "extend", "insert", "remove", "discard",
+     "clear", "pop", "popitem", "popleft", "update", "setdefault",
+     "sort", "reverse", "add", "set", "put", "push", "publish",
+     "reset", "cancel", "execute", "fail", "recover", "adjust",
+     "set_rate", "take", "record", "observe", "inc", "dec", "write"})
+
+#: Calls whose arguments cross the inter-shard Pipe (or are stored on
+#: spawn-shipped specs): closures in them escape the owning shard.
+CROSSING_ATTRS = frozenset({"send"})
+CROSSING_NAMES = frozenset({"ShardMessage", "RunSpec", "ParsimSpec"})
+
+#: Loops over these iterate exactly the shard's own regions.
+_OWNED_ITERS = frozenset({"owned_regions"})
+
+_MAX_PASSES = 10
+
+
+@dataclass(frozen=True)
+class RegionTaint:
+    """A value selected out of a region-keyed map by ``key``."""
+
+    map_name: str
+    key: KeyRef
+    key_desc: str = ""
+
+    def with_key(self, key: KeyRef, desc: str) -> "RegionTaint":
+        return RegionTaint(self.map_name, key, desc)
+
+
+@dataclass(frozen=True)
+class ParamValue:
+    """The N-th positional parameter of a function, as an opaque value."""
+
+    qual: str
+    index: int
+
+
+Taint = Union[RegionTaint, ParamValue]
+
+
+@dataclass
+class Summary:
+    """What a function does with its parameters (fixpoint-computed)."""
+
+    deep: Set[int] = field(default_factory=set)
+    mut: Set[int] = field(default_factory=set)
+    key_deep: Set[int] = field(default_factory=set)
+    key_mut: Set[int] = field(default_factory=set)
+    returns: Optional[Tuple[str, KeyRef]] = None
+
+
+@dataclass
+class _Use:
+    """A deep read or mutation of a tainted value."""
+
+    node: ast.AST
+    taint: Taint
+    mutating: bool
+    what: str
+    owner: FunctionInfo
+
+
+@dataclass
+class _ArgUse:
+    param_index: int
+    value_taint: Optional[Taint]
+    key_class: Optional[KeyRef]
+    key_desc: str
+
+
+@dataclass
+class _CallUse:
+    node: ast.Call
+    callee: FunctionInfo
+    args: List[_ArgUse]
+    owner: FunctionInfo
+
+
+@dataclass
+class _Escape:
+    """A closure capturing shard-owned state, crossing the Pipe."""
+
+    node: ast.AST
+    carrier: str
+    free_name: str
+    taint: RegionTaint
+    owner: FunctionInfo
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on py>=3.9
+        return "<expr>"
+
+
+def _subscripted_map(expr: ast.expr
+                     ) -> Tuple[Optional[str], Optional[ast.expr]]:
+    """``(map_name, region_key)`` for ``map[key]`` / ``map[key][i]``."""
+    key = None
+    while isinstance(expr, ast.Subscript):
+        key = expr.slice
+        expr = expr.value
+    if key is None:
+        return None, None
+    if isinstance(expr, ast.Attribute):
+        name: Optional[str] = expr.attr
+    elif isinstance(expr, ast.Name):
+        name = expr.id
+    else:
+        return None, None
+    if name is not None and REGION_MAPS.search(name):
+        return name, key
+    return None, None
+
+
+def _is_self_region(expr: ast.expr) -> bool:
+    return (isinstance(expr, ast.Attribute) and expr.attr == "region"
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self")
+
+
+def _collect_locals(fnode: ast.AST) -> Set[str]:
+    """Names bound inside ``fnode``, not descending into nested defs."""
+    names: Set[str] = set()
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fnode))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+            continue
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        stack.extend(ast.iter_child_nodes(node))
+    return names
+
+
+def _free_names(fnode: ast.AST) -> Set[str]:
+    """Names a nested def/lambda reads from its enclosing scope."""
+    if isinstance(fnode, ast.Lambda):
+        bound = {a.arg for a in fnode.args.args}
+        bound |= {a.arg for a in getattr(fnode.args, "posonlyargs", [])}
+        bound |= {a.arg for a in fnode.args.kwonlyargs}
+        body: Sequence[ast.AST] = [fnode.body]
+    elif isinstance(fnode, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        bound = set(_collect_locals(fnode))
+        args = fnode.args
+        bound |= {a.arg for a in args.args}
+        bound |= {a.arg for a in getattr(args, "posonlyargs", [])}
+        bound |= {a.arg for a in args.kwonlyargs}
+        body = fnode.body
+    else:
+        return set()
+    free: Set[str] = set()
+    for part in body:
+        for node in ast.walk(part):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                free |= _free_names(node)
+            elif (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)):
+                free.add(node.id)
+    return free - bound
+
+
+class _FunctionWalk:
+    """One linear forward pass over one function's body.
+
+    Nested ``def``s are walked immediately with a copy of the current
+    environment (so captured taints are visible), registering their own
+    events under their own :class:`FunctionInfo`.
+    """
+
+    def __init__(self, analysis: "FlowAnalysis", info: FunctionInfo,
+                 walks: Dict[str, "_FunctionWalk"],
+                 env: Optional[Dict[str, Taint]] = None,
+                 owned: Optional[Set[str]] = None) -> None:
+        self.analysis = analysis
+        self.info = info
+        self.ctx = info.ctx
+        self.walks = walks
+        self.env: Dict[str, Taint] = dict(env) if env else {}
+        self.owned: Set[str] = set(owned) if owned else set()
+        self.lambdas: Dict[str, ast.Lambda] = {}
+        self.locals = _collect_locals(info.node)
+        self.uses: List[_Use] = []
+        self.calls: List[_CallUse] = []
+        self.escapes: List[_Escape] = []
+        self.returns: Optional[Tuple[str, KeyRef]] = None
+        for i, p in enumerate(info.params):
+            self.env[p] = ParamValue(info.qualname, i)
+            self.owned.discard(p)
+
+    def run(self) -> None:
+        self._stmts(self.info.node.body)
+        self.walks[self.info.qualname] = self
+
+    # -- statements ------------------------------------------------------
+    def _stmts(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            child = self.analysis.index.info_for_node(stmt)
+            if child is not None:
+                _FunctionWalk(self.analysis, child, self.walks,
+                              env=self.env, owned=self.owned).run()
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt.targets, stmt.value)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign([stmt.target], stmt.value)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value)
+            self._mutation_target(stmt.target, "augmented assignment")
+            if isinstance(stmt.target, ast.Name):
+                self.env.pop(stmt.target.id, None)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._mutation_target(target, "del")
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+                taint = self._taint_of(stmt.value)
+                if isinstance(taint, RegionTaint) and self.returns is None:
+                    self.returns = (taint.map_name, taint.key)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._for(stmt)
+            return
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            return
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr)
+            self._stmts(stmt.body)
+            return
+        if isinstance(stmt, ast.Try):
+            self._stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._stmts(handler.body)
+            self._stmts(stmt.orelse)
+            self._stmts(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+
+    def _assign(self, targets: Sequence[ast.expr], value: ast.expr) -> None:
+        self._expr(value)
+        taint = self._taint_of(value)
+        for target in targets:
+            self._bind(target, value, taint)
+
+    def _bind(self, target: ast.expr, value: Optional[ast.expr],
+              taint: Optional[Taint]) -> None:
+        if isinstance(target, ast.Name):
+            if value is not None and _is_self_region(value):
+                self.owned.add(target.id)
+            else:
+                self.owned.discard(target.id)
+            if isinstance(value, ast.Lambda):
+                self.lambdas[target.id] = value
+            else:
+                self.lambdas.pop(target.id, None)
+            if taint is not None:
+                self.env[target.id] = taint
+            else:
+                self.env.pop(target.id, None)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            if (isinstance(value, (ast.Tuple, ast.List))
+                    and len(value.elts) == len(target.elts)):
+                for t, v in zip(target.elts, value.elts):
+                    self._bind(t, v, self._taint_of(v))
+            else:
+                for t in target.elts:
+                    self._bind(t, None, None)
+            return
+        # Attribute / Subscript targets: a *store* through a tainted
+        # base or into a region map is a mutation.
+        self._mutation_target(target, "assignment")
+
+    def _mutation_target(self, target: ast.expr, how: str) -> None:
+        if isinstance(target, ast.Attribute):
+            taint = self._taint_of(target.value)
+            if taint is not None:
+                self.uses.append(_Use(
+                    target, taint, True,
+                    f"store to attribute {target.attr!r} ({how})",
+                    self.info))
+            return
+        if isinstance(target, ast.Subscript):
+            map_name, key = _subscripted_map(target)
+            if map_name is not None and key is not None:
+                kref, desc = self._classify_key(key)
+                self.uses.append(_Use(
+                    target,
+                    RegionTaint(map_name, kref, desc), True,
+                    f"subscript store ({how})", self.info))
+                return
+            base = self._taint_of(target.value)
+            if base is not None:
+                self.uses.append(_Use(
+                    target, base, True, f"subscript store ({how})",
+                    self.info))
+
+    def _for(self, stmt: Union[ast.For, ast.AsyncFor]) -> None:
+        self._expr(stmt.iter)
+        self._bind_iteration(stmt.target, stmt.iter)
+        self._stmts(stmt.body)
+        self._stmts(stmt.orelse)
+
+    def _bind_iteration(self, target: ast.expr, it: ast.expr) -> None:
+        if self._bind_loop_target(target, it):
+            return
+        # Iterating a tainted collection (the workers of a foreign
+        # region, say) yields tainted elements.
+        taint = self._taint_of(it)
+        if isinstance(taint, RegionTaint) and isinstance(target, ast.Name):
+            self.owned.discard(target.id)
+            self.env[target.id] = taint
+        else:
+            self._bind(target, None, None)
+
+    def _bind_loop_target(self, target: ast.expr,
+                          it: ast.expr) -> bool:
+        """Bind loop vars for owned-iteration idioms; True if handled."""
+        expr = it
+        while (isinstance(expr, ast.Call) and expr.args
+               and isinstance(expr.func, ast.Name)
+               and expr.func.id in {"sorted", "list", "tuple", "reversed"}):
+            expr = expr.args[0]
+        method = None
+        if (isinstance(expr, ast.Call) and isinstance(expr.func,
+                                                      ast.Attribute)
+                and expr.func.attr in {"keys", "items", "values"}):
+            method = expr.func.attr
+            expr = expr.func.value
+        name = (expr.attr if isinstance(expr, ast.Attribute)
+                else expr.id if isinstance(expr, ast.Name) else None)
+        if name is None:
+            return False
+        if name in _OWNED_ITERS and method in (None, "keys"):
+            if isinstance(target, ast.Name):
+                self.owned.add(target.id)
+                self.env.pop(target.id, None)
+                return True
+            return False
+        if not REGION_MAPS.search(name):
+            return False
+        # Iterating a region map's own keys/items/values touches only
+        # entries this platform actually holds — the local surface.
+        owned_taint = RegionTaint(name, OWNED, "own iteration")
+        if method in (None, "keys") and isinstance(target, ast.Name):
+            self.owned.add(target.id)
+            self.env.pop(target.id, None)
+            return True
+        if (method == "items" and isinstance(target, ast.Tuple)
+                and len(target.elts) == 2
+                and all(isinstance(e, ast.Name) for e in target.elts)):
+            k, v = target.elts
+            self.owned.add(k.id)  # type: ignore[attr-defined]
+            self.env.pop(k.id, None)  # type: ignore[attr-defined]
+            self.env[v.id] = owned_taint  # type: ignore[attr-defined]
+            return True
+        if method == "values" and isinstance(target, ast.Name):
+            self.env[target.id] = owned_taint
+            self.owned.discard(target.id)
+            return True
+        return False
+
+    # -- expressions -----------------------------------------------------
+    def _expr(self, expr: Optional[ast.expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.Lambda):
+            sub = dict(self.env)
+            for a in expr.args.args:
+                sub.pop(a.arg, None)
+            saved, self.env = self.env, sub
+            try:
+                self._expr(expr.body)
+            finally:
+                self.env = saved
+            return
+        if isinstance(expr, ast.Attribute):
+            self._attribute(expr)
+            return
+        if isinstance(expr, ast.Call):
+            self._call(expr)
+            return
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            saved_env, saved_owned = dict(self.env), set(self.owned)
+            try:
+                for gen in expr.generators:
+                    self._expr(gen.iter)
+                    self._bind_iteration(gen.target, gen.iter)
+                    for cond in gen.ifs:
+                        self._expr(cond)
+                if isinstance(expr, ast.DictComp):
+                    self._expr(expr.key)
+                    self._expr(expr.value)
+                else:
+                    self._expr(expr.elt)
+            finally:
+                self.env, self.owned = saved_env, saved_owned
+            return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._expr(child)
+
+    def _attribute(self, node: ast.Attribute) -> None:
+        # Direct ``map[key].attr`` is SL009's finding — never ours.
+        map_name, _ = _subscripted_map(node.value)
+        if map_name is not None:
+            self._expr(node.value)
+            return
+        taint = self._taint_of(node.value)
+        self._expr(node.value)
+        if taint is None or node.attr in HANDLE_METHODS:
+            return
+        parent = self.ctx.parent(node)
+        if isinstance(parent, ast.Call) and parent.func is node:
+            mutating = node.attr in MUTATING_METHODS
+            what = f"call of .{node.attr}()"
+        else:
+            mutating = False
+            what = f"read of attribute {node.attr!r}"
+        self.uses.append(_Use(node, taint, mutating, what, self.info))
+
+    def _call(self, node: ast.Call) -> None:
+        self._expr(node.func)
+        for arg in node.args:
+            self._expr(arg)
+        for kw in node.keywords:
+            self._expr(kw.value)
+        self._check_crossing(node)
+        callee = self.analysis.index.resolve_call(self.info, node)
+        if callee is None:
+            return
+        offset = 1 if callee.class_name is not None else 0
+        args: List[_ArgUse] = []
+        for pos, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            args.append(self._arg_use(pos + offset, arg))
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            idx = callee.param_index(kw.arg)
+            if idx is not None:
+                args.append(self._arg_use(idx, kw.value))
+        self.calls.append(_CallUse(node, callee, args, self.info))
+
+    def _arg_use(self, param_index: int, arg: ast.expr) -> _ArgUse:
+        taint = self._taint_of(arg)
+        key_class: Optional[KeyRef] = None
+        desc = ""
+        if isinstance(arg, (ast.Name, ast.Attribute, ast.Subscript)) or (
+                isinstance(arg, ast.Constant)
+                and isinstance(arg.value, str)):
+            key_class, desc = self._classify_key(arg)
+        return _ArgUse(param_index, taint, key_class, desc)
+
+    def _check_crossing(self, node: ast.Call) -> None:
+        fn = node.func
+        carrier = None
+        if isinstance(fn, ast.Attribute) and fn.attr in CROSSING_ATTRS:
+            carrier = fn.attr
+        elif isinstance(fn, ast.Name) and fn.id in CROSSING_NAMES:
+            carrier = fn.id
+        elif (isinstance(fn, ast.Attribute)
+              and fn.attr in CROSSING_NAMES):
+            carrier = fn.attr
+        if carrier is None:
+            return
+        payloads = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in payloads:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Lambda):
+                    self._escape_from(node, carrier, sub)
+                elif isinstance(sub, ast.Name) and isinstance(
+                        sub.ctx, ast.Load):
+                    if sub.id in self.lambdas:
+                        self._escape_from(node, carrier,
+                                          self.lambdas[sub.id])
+                    else:
+                        nested = self._nested_def(sub.id)
+                        if nested is not None:
+                            self._escape_from(node, carrier, nested.node)
+
+    def _nested_def(self, name: str) -> Optional[FunctionInfo]:
+        cur: Optional[FunctionInfo] = self.info
+        while cur is not None:
+            if name in cur.nested:
+                return cur.nested[name]
+            cur = cur.parent
+        return None
+
+    def _escape_from(self, node: ast.Call, carrier: str,
+                     fnode: ast.AST) -> None:
+        for free in sorted(_free_names(fnode)):
+            taint = self.env.get(free)
+            if isinstance(taint, RegionTaint):
+                self.escapes.append(_Escape(
+                    node, carrier, free, taint, self.info))
+
+    # -- taint & key resolution ------------------------------------------
+    def _taint_of(self, expr: ast.expr) -> Optional[Taint]:
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Subscript):
+            map_name, key = _subscripted_map(expr)
+            if map_name is not None and key is not None:
+                kref, desc = self._classify_key(key)
+                return RegionTaint(map_name, kref, desc)
+            # Element of a tainted collection (a WorkerArrays row, a
+            # worker out of ``workers_by_region[r]``) stays tainted.
+            return self._taint_of(expr.value)
+        if isinstance(expr, ast.Call):
+            callee = self.analysis.index.resolve_call(self.info, expr)
+            if callee is None:
+                return None
+            summary = self.analysis.summaries.get(callee.qualname)
+            if summary is None or summary.returns is None:
+                return None
+            map_name, key = summary.returns
+            if isinstance(key, tuple) and key[0] == "param":
+                kref, desc = self._key_through_call(expr, callee, key[2])
+                return RegionTaint(map_name, kref, desc)
+            return RegionTaint(map_name, key,
+                               "self.region" if key == OWNED else "")
+        if isinstance(expr, ast.Await):
+            return self._taint_of(expr.value)
+        return None
+
+    def _key_through_call(self, call: ast.Call, callee: FunctionInfo,
+                          param_index: int) -> Tuple[KeyRef, str]:
+        """Resolve a callee's param-keyed return at this call site."""
+        offset = 1 if callee.class_name is not None else 0
+        pos = param_index - offset
+        if 0 <= pos < len(call.args):
+            arg = call.args[pos]
+            if not isinstance(arg, ast.Starred):
+                return self._classify_key(arg)
+        if 0 <= param_index < len(callee.params):
+            wanted = callee.params[param_index]
+            for kw in call.keywords:
+                if kw.arg == wanted:
+                    return self._classify_key(kw.value)
+        return NONOWNED, "<unresolved key>"
+
+    def _classify_key(self, expr: ast.expr) -> Tuple[KeyRef, str]:
+        if _is_self_region(expr):
+            return OWNED, "self.region"
+        if isinstance(expr, ast.Name):
+            if expr.id in self.owned:
+                return OWNED, expr.id
+            taint = self.env.get(expr.id)
+            if isinstance(taint, ParamValue):
+                return ("param", taint.qual, taint.index), expr.id
+            return NONOWNED, expr.id
+        return NONOWNED, _unparse(expr)
+
+
+class FlowAnalysis:
+    """Whole-project taint analysis; built once per lint run."""
+
+    def __init__(self, project: Project) -> None:
+        self.index: ProjectIndex = project_index(project)
+        self.summaries: Dict[str, Summary] = {
+            q: Summary() for q in self.index.functions}
+        top = [info for info in self.index.all_functions()
+               if info.parent is None]
+        walks: Dict[str, _FunctionWalk] = {}
+        for _ in range(_MAX_PASSES):
+            walks = {}
+            for info in top:
+                _FunctionWalk(self, info, walks).run()
+            new = self._derive_summaries(walks)
+            if new == self.summaries:
+                break
+            self.summaries = new
+        self.walks = walks
+
+    # -- summaries -------------------------------------------------------
+    def _derive_summaries(self, walks: Dict[str, _FunctionWalk]
+                          ) -> Dict[str, Summary]:
+        out: Dict[str, Summary] = {q: Summary() for q in
+                                   self.index.functions}
+
+        def touch(taint: Taint, mutating: bool) -> None:
+            if isinstance(taint, ParamValue):
+                s = out.get(taint.qual)
+                if s is not None:
+                    (s.mut if mutating else s.deep).add(taint.index)
+            elif isinstance(taint, RegionTaint):
+                key = taint.key
+                if isinstance(key, tuple) and key[0] == "param":
+                    s = out.get(key[1])
+                    if s is not None:
+                        (s.key_mut if mutating else
+                         s.key_deep).add(key[2])
+
+        for qual in sorted(walks):
+            walk = walks[qual]
+            for use in walk.uses:
+                touch(use.taint, use.mutating)
+            for call in walk.calls:
+                callee = self.summaries.get(call.callee.qualname)
+                if callee is None:
+                    continue
+                for arg in call.args:
+                    j = arg.param_index
+                    if arg.value_taint is not None:
+                        if j in callee.deep:
+                            touch(arg.value_taint, False)
+                        if j in callee.mut:
+                            touch(arg.value_taint, True)
+                    kc = arg.key_class
+                    if isinstance(kc, tuple) and kc[0] == "param":
+                        s = out.get(kc[1])
+                        if s is not None:
+                            if j in callee.key_deep:
+                                s.key_deep.add(kc[2])
+                            if j in callee.key_mut:
+                                s.key_mut.add(kc[2])
+            if walk.returns is not None:
+                out[qual].returns = walk.returns
+        return out
+
+    # -- findings --------------------------------------------------------
+    def findings(self) -> Iterator[Tuple[str, LintContext, ast.AST, str]]:
+        """``(rule_id, ctx, node, message)`` for every flow finding."""
+        seen: Set[Tuple[str, str, int, int, str]] = set()
+
+        def emit(rule_id: str, ctx: LintContext, node: ast.AST,
+                 message: str
+                 ) -> Iterator[Tuple[str, LintContext, ast.AST, str]]:
+            key = (rule_id, ctx.path, getattr(node, "lineno", 1),
+                   getattr(node, "col_offset", 0), message)
+            if key not in seen:
+                seen.add(key)
+                yield rule_id, ctx, node, message
+
+        for qual in sorted(self.walks):
+            walk = self.walks[qual]
+            ctx = walk.ctx
+            exempt = EXEMPT.match(walk.info.name) is not None
+            if not exempt:
+                for use in walk.uses:
+                    t = use.taint
+                    if not (isinstance(t, RegionTaint)
+                            and t.key == NONOWNED):
+                        continue
+                    rid = "SL012" if use.mutating else "SL010"
+                    yield from emit(
+                        rid, ctx, use.node,
+                        f"{use.what} on a value from "
+                        f"{t.map_name!r}[{t.key_desc}] — a non-owning "
+                        "region key; this state belongs to another "
+                        "shard")
+                for call in walk.calls:
+                    yield from self._call_findings(emit, ctx, call)
+            for esc in walk.escapes:
+                yield from emit(
+                    "SL011", ctx, esc.node,
+                    f"closure captures {esc.free_name!r} (shard-owned: "
+                    f"from {esc.taint.map_name!r}[{esc.taint.key_desc}])"
+                    f" and crosses the shard boundary via "
+                    f"{esc.carrier}()")
+
+    def _call_findings(self, emit, ctx: LintContext, call: _CallUse
+                       ) -> Iterator[Tuple[str, LintContext, ast.AST,
+                                           str]]:
+        callee = self.summaries.get(call.callee.qualname)
+        if callee is None:
+            return
+        name = call.callee.name
+        for arg in call.args:
+            j = arg.param_index
+            t = arg.value_taint
+            if (isinstance(t, RegionTaint) and t.key == NONOWNED):
+                if j in callee.mut:
+                    yield from emit(
+                        "SL012", ctx, call.node,
+                        f"{name}() mutates its argument — here a value "
+                        f"from {t.map_name!r}[{t.key_desc}], keyed by a "
+                        "non-owning region")
+                elif j in callee.deep:
+                    yield from emit(
+                        "SL010", ctx, call.node,
+                        f"{name}() reads into its argument — here a "
+                        f"value from {t.map_name!r}[{t.key_desc}], "
+                        "keyed by a non-owning region")
+            if arg.key_class == NONOWNED:
+                if j in callee.key_mut:
+                    yield from emit(
+                        "SL012", ctx, call.node,
+                        f"{name}() mutates region-keyed state selected "
+                        f"by this argument ({arg.key_desc}) — a "
+                        "non-owning region key")
+                elif j in callee.key_deep:
+                    yield from emit(
+                        "SL010", ctx, call.node,
+                        f"{name}() accesses region-keyed state "
+                        f"selected by this argument ({arg.key_desc}) — "
+                        "a non-owning region key")
+
+
+def flow_analysis(project: Project) -> FlowAnalysis:
+    """The (cached) :class:`FlowAnalysis` of ``project``."""
+    analysis = project.cache.get("flow.analysis")
+    if analysis is None:
+        analysis = FlowAnalysis(project)
+        project.cache["flow.analysis"] = analysis
+    return analysis  # type: ignore[return-value]

@@ -600,6 +600,8 @@ class CrossRegionDirectAccess(Rule):
                 and key.value.id == "self")
 
 
+from .rules_flow import FLOW_RULES  # noqa: E402  (needs Rule defined)
+
 #: The registry walked by the CLI; order is display order.
 ALL_RULES = (
     ModuleMutableIdState(),
@@ -611,7 +613,7 @@ ALL_RULES = (
     PerEventMetricLookup(),
     WorkerScanInHandler(),
     CrossRegionDirectAccess(),
-)
+) + FLOW_RULES
 
 
 def rules_by_id() -> dict:

@@ -1,0 +1,96 @@
+"""The interprocedural shard-safety rules, backed by ``simlint.flow``.
+
+All three rules share one :class:`~repro.simlint.flow.FlowAnalysis`
+per lint run (cached on the :class:`~repro.simlint.engine.Project`), so
+the call graph and the taint fixpoint are computed once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .engine import Finding, Project, ProjectRule, Severity
+from .flow import flow_analysis
+
+
+class _FlowRule(ProjectRule):
+    """Shared dispatch: pick this rule's findings out of the analysis."""
+
+    packages = frozenset({"core", "parsim"})
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        analysis = flow_analysis(project)
+        for rule_id, ctx, node, message in analysis.findings():
+            if rule_id == self.id:
+                yield ctx.finding(self, node, message)
+
+
+class AliasedCrossRegionAccess(_FlowRule):
+    """SL010 — aliased/interprocedural cross-shard access.
+
+    The semantic superset of SL009: where SL009 pattern-matches
+    ``self.schedulers[r].poke()`` written in one expression, SL010
+    follows the value — through local aliases
+    (``s = self.schedulers[r]; s.poke()``), tuple unpacking, element
+    subscripts (``self.workers_by_region[r][0]``), helper returns
+    (``self._sched(r).poke()``), and calls whose summaries say the
+    callee deep-uses the argument or uses it as a region key.  Direct
+    single-expression accesses are *excluded* — those are SL009's
+    findings, and a suppressed SL009 must not reappear as SL010.
+    """
+
+    id = "SL010"
+    severity = Severity.ERROR
+    title = "aliased cross-region access bypassing the shard mailbox"
+    fix_hint = ("route the interaction through the inter-shard mailbox "
+                "(ShardPlatform.send / RemoteRegionHandle); only "
+                "self.region-keyed components may be touched directly, "
+                "however many assignments or helper calls sit in "
+                "between")
+
+
+class ClosureCrossesShardBoundary(_FlowRule):
+    """SL011 — shard-owned state captured by a Pipe-crossing closure.
+
+    A lambda or nested function that closes over a region-keyed
+    component and is handed to ``send(...)`` / packed into a
+    ``ShardMessage`` / stored on a spawn-shipped spec will execute on
+    the *other* side of the process boundary — where the captured
+    object either fails to pickle or, worse, is a stale copy whose
+    mutations silently diverge from the owning shard.
+    """
+
+    id = "SL011"
+    severity = Severity.ERROR
+    title = "shard-owned state captured in a boundary-crossing closure"
+    fix_hint = ("ship plain data (region names, call ids, timestamps) "
+                "across the mailbox and re-resolve components on the "
+                "receiving shard; closures must not capture region-"
+                "keyed state")
+
+
+class NonOwningRegionMutation(_FlowRule):
+    """SL012 — handler mutates state reached through a non-owning key.
+
+    Cross-shard *reads* break replay parity; cross-shard *writes*
+    corrupt the other shard's state outright (both copies now claim
+    ownership of the same queue/worker).  This rule catches mutations
+    SL009 cannot see: direct subscript stores
+    (``self.counts_by_region[other] += 1`` has no attribute access),
+    aliased attribute stores and mutating method calls, and arguments
+    passed to callees whose summaries mutate them.
+    """
+
+    id = "SL012"
+    severity = Severity.ERROR
+    title = "mutation through a non-owning region key"
+    fix_hint = ("send a mailbox message and let the owning shard apply "
+                "the mutation in its own handler; never write through "
+                "a region-keyed map except under self.region")
+
+
+FLOW_RULES = (
+    AliasedCrossRegionAccess(),
+    ClosureCrossesShardBoundary(),
+    NonOwningRegionMutation(),
+)

@@ -1,0 +1,86 @@
+"""Sanitized parallel runs: digest parity plus dynamic violation catch.
+
+The dynamic half of the ISSUE acceptance pairing: the same deliberate
+cross-shard mutations that SL010/SL012 flag statically (see
+``tests/simlint/fixtures/repro/parsim/bad_sl010.py`` /
+``bad_sl012.py``) raise :class:`SanitizeError` at runtime when a shard
+platform runs under ``ParsimSpec(sanitize=True)``.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.parsim import ParsimSpec, run_parsim
+from repro.parsim.platform import build_shard
+from repro.sim import SanitizeError
+
+MINI = ParsimSpec(scenario="dayrun", seed=11, horizon_s=300.0,
+                  total_rate=2.0, n_functions=10, n_regions=4,
+                  n_shards=2)
+
+
+def sanitized_shard(index=0):
+    return build_shard(dataclasses.replace(MINI, sanitize=True), index)
+
+
+class TestDigestParity:
+    def test_two_shard_sanitized_run_matches_plain(self):
+        plain = run_parsim(MINI, force_in_process=True)
+        sanitized = run_parsim(dataclasses.replace(MINI, sanitize=True),
+                               force_in_process=True)
+        assert sanitized.n_shards == 2
+        assert sanitized.digest == plain.digest
+        assert sanitized.completed == plain.completed
+        assert sanitized.events_executed == plain.events_executed
+
+    def test_single_shard_sanitized_run_matches_plain(self):
+        serial = dataclasses.replace(MINI, n_shards=1)
+        plain = run_parsim(serial, force_in_process=True)
+        sanitized = run_parsim(
+            dataclasses.replace(serial, sanitize=True),
+            force_in_process=True)
+        assert sanitized.digest == plain.digest
+
+
+class TestDynamicCatch:
+    """bad_sl012-style cross-shard mutations raise at runtime."""
+
+    def test_foreign_region_map_read_raises(self):
+        platform = sanitized_shard(0)
+        foreign = next(r for r in platform.all_regions
+                       if r not in platform._owned_set)
+        with pytest.raises(SanitizeError, match=foreign):
+            platform.schedulers[foreign]
+
+    def test_foreign_map_entry_rebind_raises(self):
+        # The replace_foreign_queue() pattern from bad_sl012.py.
+        platform = sanitized_shard(0)
+        foreign = next(r for r in platform.all_regions
+                       if r not in platform._owned_set)
+        with pytest.raises(SanitizeError, match="write"):
+            platform.durableqs_by_region[foreign] = []
+
+    def test_foreign_region_stream_draw_raises(self):
+        platform = sanitized_shard(0)
+        foreign = next(r for r in platform.all_regions
+                       if r not in platform._owned_set)
+        stream = platform.sim.rng.stream(f"config-jitter/{foreign}/sched")
+        with pytest.raises(SanitizeError, match=foreign):
+            stream.uniform(0.0, 1.0)
+
+    def test_forged_message_source_raises(self):
+        platform = sanitized_shard(0)
+        foreign = next(r for r in platform.all_regions
+                       if r not in platform._owned_set)
+        with pytest.raises(SanitizeError, match="source"):
+            platform.send(foreign, platform.owned_regions[0],
+                          "kv_delete", ("args/1",), 1.0)
+
+    def test_owned_access_and_mailbox_surface_stay_legal(self):
+        platform = sanitized_shard(0)
+        mine = platform.owned_regions[0]
+        assert platform.schedulers[mine] is not None
+        platform.send(mine, platform.all_regions[-1], "kv_delete",
+                      ("args/1",), 1.0)  # mailbox is the sanctioned path
+        assert platform.drain_outbox()

@@ -1,0 +1,210 @@
+"""simsan unit tests: checking proxies forward exactly, violations raise.
+
+The two halves of the sanitizer contract:
+
+* **parity** — every wrapped surface (RNG streams, region maps) is
+  bit-identical to the unwrapped one, up to and including a full
+  sanitized dayrun digest;
+* **detection** — cross-shard access, out-of-order draws, and unsorted
+  region-map iteration raise :class:`SanitizeError`.
+"""
+
+import pytest
+
+from repro.sim import (
+    RngRegistry,
+    SanitizeError,
+    SanitizedRngRegistry,
+    SanitizedRngStream,
+    Sanitizer,
+    Simulator,
+)
+
+REGIONS = ("region-00", "region-01", "region-02")
+
+
+class FakeClock:
+    """A settable stand-in for the kernel clock."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def make_sanitizer(now=0.0, allowed=None):
+    sanitizer = Sanitizer(FakeClock(now))
+    sanitizer.register_regions(REGIONS)
+    if allowed is not None:
+        sanitizer.restrict(allowed)
+    return sanitizer
+
+
+class TestStreamParity:
+    """Sanitized streams must replay the exact unsanitized sequence."""
+
+    def draws(self, stream):
+        chooser = stream.weighted_chooser("xyz", [3.0, 1.0, 2.0])
+        lst = [1, 2, 3, 4, 5]
+        stream.shuffle(lst)
+        return (
+            stream.random(), stream.uniform(2.0, 5.0),
+            stream.randint(1, 100), stream.expovariate(0.5),
+            stream.lognormal(0.0, 1.0), stream.pareto(1.5, 2.0),
+            stream.gauss(0.0, 1.0), stream.choice("abcdef"),
+            tuple(stream.sample(range(50), 5)), tuple(lst),
+            stream.weighted_choice("abc", [1.0, 2.0, 3.0]),
+            tuple(chooser() for _ in range(10)),
+            stream.poisson(4.2), stream.poisson(600.0),
+        )
+
+    def test_every_draw_method_is_bit_identical(self):
+        plain = RngRegistry(123).stream("config-jitter/region-01/sched")
+        sanitized = SanitizedRngRegistry(123, make_sanitizer()).stream(
+            "config-jitter/region-01/sched")
+        assert isinstance(sanitized, SanitizedRngStream)
+        assert self.draws(plain) == self.draws(sanitized)
+
+    def test_registry_memoizes_wrapped_streams(self):
+        registry = SanitizedRngRegistry(7, make_sanitizer())
+        assert registry.stream("a/b") is registry.stream("a/b")
+
+
+class TestStreamChecks:
+    def test_owner_parsed_from_path_segments(self):
+        sanitizer = make_sanitizer()
+        assert sanitizer.owner_of_stream(
+            "config-jitter/region-01/sched") == "region-01"
+        assert sanitizer.owner_of_stream("dq-sweep/region-02/0") == \
+            "region-02"
+        assert sanitizer.owner_of_stream("region-00/tao") == "region-00"
+        for replicated in ("arrivals", "client-region",
+                           "resources/fn-0001", "periodic-jitter"):
+            assert sanitizer.owner_of_stream(replicated) is None
+
+    def test_foreign_region_stream_draw_raises(self):
+        registry = SanitizedRngRegistry(
+            7, make_sanitizer(allowed=["region-00"]))
+        stream = registry.stream("config-jitter/region-01/sched")
+        with pytest.raises(SanitizeError, match="region-01"):
+            stream.random()
+
+    def test_owned_and_replicated_streams_draw_fine(self):
+        registry = SanitizedRngRegistry(
+            7, make_sanitizer(allowed=["region-00"]))
+        registry.stream("config-jitter/region-00/sched").random()
+        registry.stream("arrivals").random()
+
+    def test_backwards_draw_time_raises(self):
+        clock = FakeClock(10.0)
+        sanitizer = Sanitizer(clock)
+        registry = SanitizedRngRegistry(7, sanitizer)
+        stream = registry.stream("arrivals")
+        stream.random()
+        clock.now = 9.0
+        with pytest.raises(SanitizeError, match="out-of-order"):
+            stream.random()
+
+    def test_equal_time_redraws_are_fine(self):
+        registry = SanitizedRngRegistry(7, Sanitizer(FakeClock(5.0)))
+        stream = registry.stream("arrivals")
+        stream.random()
+        stream.random()
+
+
+class TestRegionMapProxy:
+    def test_foreign_key_read_write_delete_raise(self):
+        proxy = make_sanitizer(allowed=["region-00"]).region_map("schedulers")
+        dict.__setitem__(proxy, "region-01", "s")  # plant without checks
+        with pytest.raises(SanitizeError, match="read"):
+            proxy["region-01"]
+        with pytest.raises(SanitizeError, match="write"):
+            proxy["region-01"] = "t"
+        with pytest.raises(SanitizeError, match="delete"):
+            del proxy["region-01"]
+
+    def test_owned_and_nonregion_keys_pass(self):
+        proxy = make_sanitizer(allowed=["region-00"]).region_map("m")
+        proxy["region-00"] = 1
+        assert proxy["region-00"] == 1
+        proxy["not-a-region"] = 2  # unknown names are not region keys
+        assert proxy["not-a-region"] == 2
+
+    def test_membership_and_len_are_unchecked(self):
+        # Routing asks *whether* a shard hosts a region; that must not
+        # raise — only touching the entry crosses the boundary.
+        proxy = make_sanitizer(allowed=["region-00"]).region_map("m")
+        dict.__setitem__(proxy, "region-01", "s")
+        assert "region-01" in proxy
+        assert len(proxy) == 1
+
+    def test_unrestricted_sanitizer_allows_everything(self):
+        proxy = make_sanitizer().region_map("m")
+        proxy["region-02"] = 3
+        assert proxy["region-02"] == 3
+
+    def test_unsorted_iteration_raises(self):
+        proxy = make_sanitizer().region_map("m")
+        proxy["region-01"] = 1
+        proxy["region-00"] = 0
+        with pytest.raises(SanitizeError, match="sorted"):
+            list(proxy)
+        with pytest.raises(SanitizeError):
+            list(proxy.items())
+        with pytest.raises(SanitizeError):
+            list(proxy.values())
+
+    def test_sorted_insertion_iterates_fine(self):
+        proxy = make_sanitizer().region_map("m")
+        for r in sorted(REGIONS):
+            proxy[r] = r
+        assert list(proxy) == sorted(REGIONS)
+        assert sorted(proxy.items()) == [(r, r) for r in sorted(REGIONS)]
+
+
+class TestRegionGuard:
+    def test_guard_scopes_and_restores(self):
+        sanitizer = make_sanitizer()
+        proxy = sanitizer.region_map("m")
+        proxy["region-01"] = 1
+        with sanitizer.region_guard(["region-00"]):
+            with pytest.raises(SanitizeError):
+                proxy["region-01"]
+        assert proxy["region-01"] == 1  # unrestricted again
+
+    def test_guard_restores_previous_restriction(self):
+        sanitizer = make_sanitizer(allowed=["region-00"])
+        with sanitizer.region_guard(REGIONS):
+            assert sanitizer.allowed_regions() == frozenset(REGIONS)
+        assert sanitizer.allowed_regions() == frozenset({"region-00"})
+
+
+class TestSimulatorWiring:
+    def test_default_has_no_sanitizer(self):
+        sim = Simulator(seed=1)
+        assert sim.sanitizer is None
+        assert not isinstance(sim.rng, SanitizedRngRegistry)
+
+    def test_sanitize_wires_registry_and_sanitizer(self):
+        sim = Simulator(seed=1, sanitize=True)
+        assert sim.sanitizer is not None
+        assert isinstance(sim.rng, SanitizedRngRegistry)
+        assert isinstance(sim.rng.stream("x"), SanitizedRngStream)
+
+    def test_kernel_rng_parity(self):
+        a = Simulator(seed=42).rng.stream("s")
+        b = Simulator(seed=42, sanitize=True).rng.stream("s")
+        assert [a.random() for _ in range(20)] == \
+            [b.random() for _ in range(20)]
+
+
+class TestDayrunParity:
+    def test_sanitized_dayrun_digest_is_bit_identical(self):
+        # The hard guarantee: a full (scaled-down) scenario under the
+        # sanitizer produces the exact trace digest of the plain run.
+        from repro.scenarios import build_dayrun
+        kwargs = dict(horizon_s=300.0, total_rate=2.0, n_functions=12,
+                      n_regions=3)
+        plain = build_dayrun(**kwargs)
+        sanitized = build_dayrun(sanitize=True, **kwargs)
+        assert sanitized.sim.sanitizer is not None
+        assert plain.platform.traces.digest() == \
+            sanitized.platform.traces.digest()

@@ -1,0 +1,49 @@
+"""True positives for SL010: aliased/interprocedural cross-region
+access.  Every finding here is invisible to SL009 — no expression in
+this file matches the syntactic ``map[key].attr`` pattern — which is
+exactly the acceptance pairing (SL009-clean, SL010-hit)."""
+
+
+class ShardPlatform:
+    def __init__(self, schedulers, durableqs_by_region,
+                 workers_by_region):
+        self.schedulers = schedulers
+        self.durableqs_by_region = durableqs_by_region
+        self.workers_by_region = workers_by_region
+        self.region = "region-00"
+
+    def _sched(self, r):
+        return self.schedulers[r]
+
+    def _depth(self, q):
+        return q.depth
+
+    def peek_via_alias(self):
+        # SL009 sees nothing: the subscript and the attribute read are
+        # two statements apart.
+        s = self.schedulers["region-01"]
+        return s.pending_demand
+
+    def tick_via_helper(self):
+        # The subscript lives inside _sched(); the foreign key is here.
+        remote = self._sched("region-02")
+        return remote.pending_demand
+
+    def drain_via_argument(self):
+        # The deep use lives inside _depth(); the taint flows through
+        # the call argument.
+        dq = self.durableqs_by_region["region-03"]
+        return self._depth(dq)
+
+    def sample_foreign_row(self):
+        # A WorkerArrays row stays shard-owned through the element
+        # subscript.
+        foreign = "region-04"
+        w = self.workers_by_region[foreign][0]
+        return w.memory_in_use_mb
+
+    def scan_foreign_pool(self):
+        total = 0
+        for w in self.workers_by_region["region-05"]:
+            total += w.running
+        return total

@@ -1,0 +1,38 @@
+"""True positives for SL011: shard-owned state captured in closures
+that cross the inter-shard Pipe boundary."""
+
+
+class ShardMessage:
+    def __init__(self, deliver_at, src_region, src_seq, payload):
+        self.deliver_at = deliver_at
+        self.payload = payload
+
+
+class ShardPlatform:
+    def __init__(self, durableqs_by_region, schedulers, mailbox):
+        self.durableqs_by_region = durableqs_by_region
+        self.schedulers = schedulers
+        self.mailbox = mailbox
+        self.region = "region-00"
+
+    def send(self, dst_region, deliver_at, handler):
+        self.mailbox.append((dst_region, deliver_at, handler))
+
+    def offload_lambda(self, dst):
+        # Even an *owned* component must not cross the boundary: the
+        # receiving shard gets a pickled copy (or a pickle error).
+        dq = self.durableqs_by_region[self.region]
+        self.send(dst, 1.0, lambda: dq.pop_head())
+
+    def offload_stored_lambda(self, dst):
+        sched = self.schedulers["region-02"]
+        poke = lambda: sched.tick()  # noqa: E731
+        self.send(dst, 2.0, poke)
+
+    def offload_nested_def(self, dst):
+        q = self.durableqs_by_region["region-03"]
+
+        def flush():
+            return q.drain()
+
+        return ShardMessage(3.0, self.region, 0, flush)

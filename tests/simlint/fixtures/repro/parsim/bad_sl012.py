@@ -1,0 +1,40 @@
+"""True positives for SL012: mutation through a non-owning region key.
+None of these match SL009's syntactic pattern — subscript stores have
+no attribute node, and the aliased/interprocedural forms hide the
+subscript from the mutation site."""
+
+
+class ShardPlatform:
+    def __init__(self, counts_by_region, durableqs_by_region,
+                 schedulers, queuelbs):
+        self.counts_by_region = counts_by_region
+        self.durableqs_by_region = durableqs_by_region
+        self.schedulers = schedulers
+        self.queuelbs = queuelbs
+        self.region = "region-00"
+
+    def _bump(self, counters):
+        counters.update({"stolen": 1})
+
+    def steal_credit(self):
+        # Direct augmented store: no attribute access, SL009-blind.
+        other = "region-01"
+        self.counts_by_region[other] += 1
+
+    def replace_foreign_queue(self):
+        # Rebinding another shard's map entry outright.
+        self.durableqs_by_region["region-02"] = []
+
+    def push_foreign(self, item):
+        # Aliased mutating method call.
+        lb = self.queuelbs["region-03"]
+        lb.push(item)
+
+    def pause_foreign(self):
+        # Aliased attribute store.
+        s = self.schedulers["region-04"]
+        s.paused = True
+
+    def bump_via_helper(self):
+        # The mutation lives inside _bump(); the foreign key is here.
+        self._bump(self.counts_by_region["region-05"])

@@ -1,0 +1,49 @@
+"""True negatives for SL010: aliases and helpers over *owned* keys."""
+
+
+class ShardPlatform:
+    def __init__(self, schedulers, durableqs_by_region,
+                 workers_by_region):
+        self.schedulers = schedulers
+        self.durableqs_by_region = durableqs_by_region
+        self.workers_by_region = workers_by_region
+        self.region = "region-00"
+        self.owned_regions = ("region-00",)
+
+    def _sched(self, r):
+        return self.schedulers[r]
+
+    def peek_own_region(self):
+        # Aliasing the own-region component is the sanctioned path.
+        s = self.schedulers[self.region]
+        return s.pending_demand
+
+    def peek_own_alias(self):
+        # ...including through an alias of self.region itself.
+        mine = self.region
+        s = self.schedulers[mine]
+        return s.pending_demand
+
+    def tick_owned_loop(self):
+        # Loop over owned_regions: every key is local by definition.
+        total = 0
+        for r in self.owned_regions:
+            s = self.schedulers[r]
+            total += s.pending_demand
+        return total
+
+    def backlog_own_map(self):
+        # Iterating the map's own items touches only local entries.
+        total = 0
+        for r, dq in sorted(self.durableqs_by_region.items()):
+            total += dq.depth
+        return total
+
+    def helper_with_owned_key(self):
+        # Interprocedural, but the key handed to the helper is owned.
+        return self._sched(self.region).pending_demand
+
+    def enqueue_remote(self, call):
+        # The handle surface is mailbox-safe even through an alias.
+        handle = self.durableqs_by_region["region-09"]
+        return handle.enqueue(call)

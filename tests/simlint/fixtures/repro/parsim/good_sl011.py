@@ -1,0 +1,32 @@
+"""True negatives for SL011: plain-data payloads across the Pipe."""
+
+
+class ShardMessage:
+    def __init__(self, deliver_at, src_region, src_seq, payload):
+        self.deliver_at = deliver_at
+        self.payload = payload
+
+
+class ShardPlatform:
+    def __init__(self, durableqs_by_region, mailbox):
+        self.durableqs_by_region = durableqs_by_region
+        self.mailbox = mailbox
+        self.region = "region-00"
+
+    def send(self, dst_region, deliver_at, payload):
+        self.mailbox.append((dst_region, deliver_at, payload))
+
+    def report(self, dst, call_id):
+        # Plain data (names, ids, timestamps) is the mailbox protocol.
+        self.send(dst, 1.0, (self.region, call_id, "done"))
+
+    def ship_untainted_closure(self, dst, n):
+        # A closure over plain locals is pickle-fine and shard-safe.
+        base = n * 2
+        self.send(dst, 2.0, lambda: base + 1)
+
+    def local_callback(self):
+        # Closures over shard-owned state are fine when they *stay*
+        # on this shard (a sim callback, not a Pipe crossing).
+        dq = self.durableqs_by_region[self.region]
+        self.mailbox.append(lambda: dq.pop_head())

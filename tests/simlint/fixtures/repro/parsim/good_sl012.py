@@ -1,0 +1,34 @@
+"""True negatives for SL012: mutations under owned keys only."""
+
+
+class ShardPlatform:
+    def __init__(self, counts_by_region, durableqs_by_region,
+                 queuelbs):
+        self.counts_by_region = counts_by_region
+        self.durableqs_by_region = durableqs_by_region
+        self.queuelbs = queuelbs
+        self.region = "region-00"
+        self.owned_regions = ("region-00",)
+
+    def _bump(self, counters):
+        counters.update({"local": 1})
+
+    def credit_local(self):
+        # Own-region stores are the sanctioned synchronous path.
+        self.counts_by_region[self.region] += 1
+
+    def reset_owned(self):
+        for r in self.owned_regions:
+            self.counts_by_region[r] = 0
+
+    def push_local(self, item):
+        lb = self.queuelbs[self.region]
+        lb.push(item)
+
+    def bump_local_via_helper(self):
+        self._bump(self.counts_by_region[self.region])
+
+    def enqueue_anywhere(self, call, region):
+        # The handle surface is mailbox-safe: enqueue() is how remote
+        # submission is *supposed* to look.
+        self.durableqs_by_region[region].enqueue(call)

@@ -1,0 +1,11 @@
+"""Suppression check for SL012."""
+
+
+class MigrationTool:
+    def __init__(self, counts_by_region):
+        self.counts_by_region = counts_by_region
+        self.region = "region-00"
+
+    def rehome(self):
+        # Offline migration utility, runs outside the simulation.
+        self.counts_by_region["region-01"] = 0  # simlint: disable=SL012

@@ -1,0 +1,325 @@
+"""Unit tests for the interprocedural flow layer (callgraph + taint).
+
+Fixture-file coverage lives in test_rules.py; these tests poke the
+machinery directly — call resolution, summaries, the key lattice —
+via lint_source on small crafted modules."""
+
+import re
+
+from repro.simlint import ALL_RULES, lint_source
+from repro.simlint.callgraph import ProjectIndex
+from repro.simlint.engine import LintContext, Project
+from repro.simlint.flow import (
+    EXEMPT,
+    HANDLE_METHODS,
+    NONOWNED,
+    OWNED,
+    REGION_MAPS,
+    FlowAnalysis,
+)
+from repro.simlint.rules import CrossRegionDirectAccess
+
+MOD = "repro/parsim/flowmod.py"
+
+
+def flow_findings(src, rule_id=None, path=MOD):
+    found = lint_source(src, path, ALL_RULES)
+    if rule_id is not None:
+        found = [f for f in found if f.rule_id == rule_id]
+    return found
+
+
+def analysis_of(src, path=MOD):
+    ctx = LintContext(src, path)
+    project = Project([ctx])
+    return FlowAnalysis(project)
+
+
+class TestSharedConstants:
+    """flow.py keeps private copies of SL009's patterns (no import
+    cycle); they must never drift apart."""
+
+    def test_region_map_pattern_matches_sl009(self):
+        assert REGION_MAPS.pattern == (
+            CrossRegionDirectAccess._REGION_MAPS.pattern)
+
+    def test_handle_methods_match_sl009(self):
+        assert HANDLE_METHODS == CrossRegionDirectAccess._HANDLE_METHODS
+
+    def test_exempt_pattern_matches_sl009(self):
+        assert EXEMPT.pattern == CrossRegionDirectAccess._EXEMPT.pattern
+
+
+class TestCallgraph:
+    SRC = (
+        "def helper(x):\n"
+        "    return x\n"
+        "\n"
+        "class Platform:\n"
+        "    def outer(self):\n"
+        "        def inner(y):\n"
+        "            return y\n"
+        "        inner(1)\n"
+        "        helper(2)\n"
+        "        self.method(3)\n"
+        "    def method(self, z):\n"
+        "        return z\n"
+    )
+
+    def _index(self):
+        ctx = LintContext(self.SRC, MOD)
+        return ProjectIndex(Project([ctx])), ctx
+
+    def test_functions_indexed_with_qualnames(self):
+        index, _ = self._index()
+        quals = set(index.functions)
+        assert "repro.parsim.flowmod:helper" in quals
+        assert "repro.parsim.flowmod:Platform.outer" in quals
+        assert any(q.endswith("outer.<locals>.inner") for q in quals)
+
+    def test_resolution_kinds(self):
+        index, ctx = self._index()
+        import ast
+        outer = index.functions["repro.parsim.flowmod:Platform.outer"]
+        calls = [n for n in ast.walk(outer.node)
+                 if isinstance(n, ast.Call)]
+        resolved = {index.resolve_call(outer, c).name
+                    for c in calls if index.resolve_call(outer, c)}
+        assert resolved == {"inner", "helper", "method"}
+
+    def test_unresolvable_call_is_none(self):
+        index, ctx = self._index()
+        import ast
+        call = ast.parse("unknown_fn()").body[0].value
+        outer = index.functions["repro.parsim.flowmod:Platform.outer"]
+        assert index.resolve_call(outer, call) is None
+
+
+class TestSummaries:
+    def test_param_keyed_return_summary(self):
+        a = analysis_of(
+            "class P:\n"
+            "    def pick(self, r):\n"
+            "        return self.schedulers[r]\n")
+        s = a.summaries["repro.parsim.flowmod:P.pick"]
+        assert s.returns == ("schedulers", ("param",
+                                            "repro.parsim.flowmod:P.pick",
+                                            1))
+
+    def test_mut_param_summary(self):
+        a = analysis_of(
+            "class P:\n"
+            "    def bump(self, c):\n"
+            "        c.update({})\n")
+        s = a.summaries["repro.parsim.flowmod:P.bump"]
+        assert 1 in s.mut
+
+    def test_key_deep_propagates_through_call_chain(self):
+        # wrap() -> pick() two levels deep: wrap's r is still a key.
+        a = analysis_of(
+            "class P:\n"
+            "    def pick(self, r):\n"
+            "        s = self.schedulers[r]\n"
+            "        return s.pending\n"
+            "    def wrap(self, r2):\n"
+            "        return self.pick(r2)\n")
+        pick = a.summaries["repro.parsim.flowmod:P.pick"]
+        wrap = a.summaries["repro.parsim.flowmod:P.wrap"]
+        assert 1 in pick.key_deep
+        assert 1 in wrap.key_deep
+
+    def test_fixpoint_terminates_on_recursion(self):
+        a = analysis_of(
+            "class P:\n"
+            "    def ping(self, r):\n"
+            "        return self.pong(r)\n"
+            "    def pong(self, r):\n"
+            "        return self.ping(r)\n")
+        assert a.summaries  # no hang, no blowup
+
+
+class TestLattice:
+    def test_owned_alias_of_self_region(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self):\n"
+            "        mine = self.region\n"
+            "        s = self.schedulers[mine]\n"
+            "        return s.pending\n", "SL010")
+        assert found == []
+
+    def test_foreign_literal_key_is_nonowned(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self):\n"
+            "        s = self.schedulers['r9']\n"
+            "        return s.pending\n", "SL010")
+        assert len(found) == 1
+        assert "'schedulers'" in found[0].message
+
+    def test_param_key_is_abstract_not_reported(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self, r):\n"
+            "        s = self.schedulers[r]\n"
+            "        return s.pending\n", "SL010")
+        assert found == []
+
+    def test_tuple_unpack_tracks_taint(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self):\n"
+            "        a, b = self.schedulers['r1'], 0\n"
+            "        return a.pending\n", "SL010")
+        assert len(found) == 1
+
+    def test_rebinding_clears_taint(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self):\n"
+            "        s = self.schedulers['r1']\n"
+            "        s = 0\n"
+            "        return s.bit_length()\n", "SL010")
+        assert found == []
+
+    def test_element_subscript_keeps_taint(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self):\n"
+            "        w = self.workers_by_region['r1'][0]\n"
+            "        return w.running\n", "SL010")
+        assert len(found) == 1
+
+    def test_handle_surface_is_clean_through_alias(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self, call):\n"
+            "        h = self.durableqs_by_region['r9']\n"
+            "        return h.enqueue(call)\n", "SL010")
+        assert found == []
+
+    def test_exempt_function_names_skip_reporting(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def handle_message(self, msg):\n"
+            "        s = self.schedulers['r1']\n"
+            "        return s.pending\n", "SL010")
+        assert found == []
+
+    def test_scope_limited_to_core_and_parsim(self):
+        src = ("class P:\n"
+               "    def f(self):\n"
+               "        s = self.schedulers['r1']\n"
+               "        return s.pending\n")
+        assert flow_findings(src, "SL010",
+                             path="repro/sweep/other.py") == []
+        assert len(flow_findings(src, "SL010",
+                                 path="repro/core/other.py")) == 1
+
+
+class TestInterprocedural:
+    def test_foreign_key_into_helper_reported_at_callsite(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def peek(self, r):\n"
+            "        s = self.schedulers[r]\n"
+            "        return s.pending\n"
+            "    def f(self):\n"
+            "        return self.peek('r7')\n", "SL010")
+        assert len(found) == 1
+        assert found[0].line == 6
+
+    def test_tainted_value_into_mutating_helper_is_sl012(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def bump(self, c):\n"
+            "        c.update({})\n"
+            "    def f(self):\n"
+            "        self.bump(self.counts_by_region['r7'])\n", "SL012")
+        assert len(found) == 1
+
+    def test_helper_return_taint_resolved_at_callsite(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def pick(self, r):\n"
+            "        return self.schedulers[r]\n"
+            "    def f(self):\n"
+            "        return self.pick('r7').pending\n", "SL010")
+        assert len(found) == 1
+
+    def test_owned_key_through_helper_is_clean(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def pick(self, r):\n"
+            "        return self.schedulers[r]\n"
+            "    def f(self):\n"
+            "        return self.pick(self.region).pending\n", "SL010")
+        assert found == []
+
+
+class TestMutationForms:
+    def test_direct_subscript_augassign(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self):\n"
+            "        self.counts_by_region['r1'] += 1\n", "SL012")
+        assert len(found) == 1
+
+    def test_del_foreign_entry(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self):\n"
+            "        del self.workers_by_region['r1']\n", "SL012")
+        assert len(found) == 1
+
+    def test_owned_subscript_store_is_clean(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self):\n"
+            "        self.counts_by_region[self.region] += 1\n", "SL012")
+        assert found == []
+
+
+class TestClosureEscape:
+    def test_lambda_over_owned_state_still_flagged(self):
+        # Owned state must not cross the Pipe either.
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self, dst):\n"
+            "        dq = self.durableqs_by_region[self.region]\n"
+            "        self.send(dst, 1.0, lambda: dq.pop_head())\n",
+            "SL011")
+        assert len(found) == 1
+
+    def test_plain_data_payload_is_clean(self):
+        found = flow_findings(
+            "class P:\n"
+            "    def f(self, dst, call_id):\n"
+            "        self.send(dst, 1.0, (self.region, call_id))\n",
+            "SL011")
+        assert found == []
+
+
+class TestDeterminism:
+    SRC = (
+        "class P:\n"
+        "    def a(self):\n"
+        "        s = self.schedulers['r1']\n"
+        "        return s.pending\n"
+        "    def b(self):\n"
+        "        q = self.durableqs_by_region['r2']\n"
+        "        q.append(1)\n")
+
+    def test_findings_are_deterministic(self):
+        runs = [tuple((f.rule_id, f.line, f.message)
+                      for f in flow_findings(self.SRC))
+                for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_messages_name_map_key_and_rule(self):
+        found = flow_findings(self.SRC)
+        by_rule = {f.rule_id for f in found}
+        assert by_rule == {"SL010", "SL012"}
+        for f in found:
+            assert re.search(r"'(schedulers|durableqs_by_region)'",
+                             f.message)
