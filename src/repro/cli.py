@@ -480,7 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
     # bpo-17050); it is registered here only so --help lists it.
     sub.add_parser("lint",
                    help="determinism & sim-safety static analysis "
-                        "(SL001-SL012; see `python -m repro lint --help`)")
+                        "(SL001-SL015; see `python -m repro lint --help`)")
 
     life_p = sub.add_parser("lifecycle",
                             help="print the Figure 1 lifecycle cost table")

@@ -41,6 +41,11 @@ class DurableQ:
         self.name = name
         self.region = region
         self.lease_timeout_s = lease_timeout_s
+        # Sanitized runs mirror simlint's SL014 lease FSM at runtime;
+        # a plain run pays one None-check per protocol event.
+        sanitizer = sim.sanitizer
+        self._lease_guard = (
+            sanitizer.lease_guard if sanitizer is not None else None)
         #: function name → min-heap of (start_time, call_id, call)
         self._queues: Dict[str, List[Tuple[float, int, FunctionCall]]] = {}
         self._leases: Dict[int, _Lease] = {}
@@ -103,6 +108,7 @@ class DurableQ:
         rr_names = self._rr_names
         queues_get = self._queues.get
         leases = self._leases
+        guard = self._lease_guard
         heappop = heapq.heappop
         expires_at = now + self.lease_timeout_s
         n_leased = 0
@@ -123,6 +129,8 @@ class DurableQ:
                     break
                 heappop(queue)
                 call.state = CallState.BUFFERED
+                if guard is not None:
+                    guard.on_lease(self.name, call.call_id)
                 leases[call.call_id] = _Lease(
                     call=call, scheduler_id=scheduler_id,
                     expires_at=expires_at)
@@ -139,17 +147,23 @@ class DurableQ:
 
     def extend_lease(self, call_id: int) -> None:
         """Keep a long-running call leased (scheduler heartbeats)."""
+        if self._lease_guard is not None:
+            self._lease_guard.on_extend(self.name, call_id)
         lease = self._leases.get(call_id)
         if lease is not None:
             lease.expires_at = self.sim.now + self.lease_timeout_s
 
     def ack(self, call: FunctionCall) -> None:
         """Function executed successfully: remove permanently."""
+        if self._lease_guard is not None:
+            self._lease_guard.on_ack(self.name, call.call_id)
         if self._leases.pop(call.call_id, None) is not None:
             self.acked_count += 1
 
     def nack(self, call: FunctionCall, retry_delay_s: float = 0.0) -> None:
         """Execution failed: make the call available again (§4.3)."""
+        if self._lease_guard is not None:
+            self._lease_guard.on_nack(self.name, call.call_id)
         lease = self._leases.pop(call.call_id, None)
         if lease is None:
             return
@@ -170,6 +184,8 @@ class DurableQ:
     # ------------------------------------------------------------------
     def ack_by_id(self, call_id: int) -> None:
         """ACK a leased call identified only by its id."""
+        if self._lease_guard is not None:
+            self._lease_guard.on_ack(self.name, call_id)
         if self._leases.pop(call_id, None) is not None:
             self.acked_count += 1
 
@@ -186,6 +202,8 @@ class DurableQ:
         expired = [lease for lease in self._leases.values()
                    if lease.expires_at <= now]
         for lease in expired:
+            if self._lease_guard is not None:
+                self._lease_guard.on_expire(self.name, lease.call.call_id)
             self._leases.pop(lease.call.call_id, None)
             self.expired_lease_count += 1
             call = lease.call

@@ -14,7 +14,13 @@ proxies that raise :class:`SanitizeError` on:
   earlier than its previous draw (replay / time-travel bugs);
 * **iteration-order-dependent scheduling** — iterating a region map
   whose keys are not in sorted order, the precondition for insertion
-  order leaking into event order.
+  order leaking into event order;
+* **lease-protocol violations** — the runtime mirror of simlint's
+  SL014 typestate rule: a DurableQ call ACKed or NACKed twice, settled
+  both ways, extended after settling, or re-leased after an ACK
+  (:class:`LeaseGuard`).  Lease *expiry* stays tolerant, exactly like
+  :class:`~repro.core.durableq.DurableQ` itself — at-least-once
+  semantics make a late settle of an expired lease a legal no-op.
 
 The hard guarantee is *zero behavioral skew*: every check observes and
 forwards, never perturbs.  :class:`SanitizedRngStream` derives the
@@ -67,6 +73,68 @@ class SupportsNow(Protocol):
     def now(self) -> float: ...
 
 
+class LeaseGuard:
+    """Runtime typestate for DurableQ leases (the SL014 FSM, enforced).
+
+    Tracks each call id through ``leased -> {acked | nacked}`` as the
+    queue reports protocol events, raising :class:`SanitizeError` on
+    the transitions the static rule forbids.  Observation only: the
+    guard holds its own table and never touches queue state, so a
+    sanitized run's trace digest is bit-identical to a plain run.
+
+    A call id with no recorded state is *tolerated* for every settle
+    event — that is the lease-expiry race DurableQ itself treats as a
+    no-op — and an expired lease is forgotten entirely, so a second
+    scheduler re-leasing and settling the same call stays legal.
+    """
+
+    _LEASED = "leased"
+    _ACKED = "ACKed"
+    _NACKED = "NACKed"
+
+    def __init__(self) -> None:
+        self._states: Dict[int, str] = {}
+
+    def _fail(self, queue: str, call_id: int, event: str,
+              state: str) -> None:
+        raise SanitizeError(
+            f"lease-protocol violation on {queue!r}: {event} of call "
+            f"{call_id} which is already {state} — each leased call "
+            f"settles exactly once (FSM: polled -> acked | nacked)")
+
+    def on_lease(self, queue: str, call_id: int) -> None:
+        state = self._states.get(call_id)
+        if state == self._LEASED:
+            self._fail(queue, call_id, "lease", "leased")
+        if state == self._ACKED:
+            self._fail(queue, call_id, "lease", self._ACKED)
+        # NACKed (redelivery) and unknown (first lease / expired) are
+        # the two legal ways back into the leased state.
+        self._states[call_id] = self._LEASED
+
+    def on_ack(self, queue: str, call_id: int) -> None:
+        state = self._states.get(call_id)
+        if state in (self._ACKED, self._NACKED):
+            self._fail(queue, call_id, "ACK", state)
+        if state is not None:
+            self._states[call_id] = self._ACKED
+
+    def on_nack(self, queue: str, call_id: int) -> None:
+        state = self._states.get(call_id)
+        if state in (self._ACKED, self._NACKED):
+            self._fail(queue, call_id, "NACK", state)
+        if state is not None:
+            self._states[call_id] = self._NACKED
+
+    def on_extend(self, queue: str, call_id: int) -> None:
+        state = self._states.get(call_id)
+        if state in (self._ACKED, self._NACKED):
+            self._fail(queue, call_id, "extend_lease", state)
+
+    def on_expire(self, queue: str, call_id: int) -> None:
+        self._states.pop(call_id, None)
+
+
 class Sanitizer:
     """Shared checking state for one simulation's sanitized run.
 
@@ -79,6 +147,9 @@ class Sanitizer:
 
     def __init__(self, clock: SupportsNow) -> None:
         self._clock = clock
+        #: Runtime lease typestate; DurableQ reports protocol events
+        #: here when its simulator runs sanitized.
+        self.lease_guard = LeaseGuard()
         self.known_regions: FrozenSet[str] = frozenset()
         self._allowed: Optional[FrozenSet[str]] = None
         self._guard: Optional[FrozenSet[str]] = None

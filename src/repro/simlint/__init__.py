@@ -10,7 +10,10 @@ across back-to-back runs in one process (the PR 2 call-id bug), a
 
 ``simlint`` encodes the contract as a small stdlib-``ast`` rule engine
 (:mod:`repro.simlint.engine`) plus a curated ruleset
-(:mod:`repro.simlint.rules`, SL001–SL007).  Run it as::
+(:mod:`repro.simlint.rules`, SL001–SL015 — including the
+interprocedural shard-safety rules backed by :mod:`repro.simlint.flow`
+and the lifecycle typestate rules backed by
+:mod:`repro.simlint.typestate`).  Run it as::
 
     python -m repro lint                # lint src/repro, text output
     python -m repro lint --json         # machine-readable findings

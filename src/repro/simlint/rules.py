@@ -601,6 +601,7 @@ class CrossRegionDirectAccess(Rule):
 
 
 from .rules_flow import FLOW_RULES  # noqa: E402  (needs Rule defined)
+from .rules_typestate import TYPESTATE_RULES  # noqa: E402
 
 #: The registry walked by the CLI; order is display order.
 ALL_RULES = (
@@ -613,7 +614,7 @@ ALL_RULES = (
     PerEventMetricLookup(),
     WorkerScanInHandler(),
     CrossRegionDirectAccess(),
-) + FLOW_RULES
+) + FLOW_RULES + TYPESTATE_RULES
 
 
 def rules_by_id() -> dict:

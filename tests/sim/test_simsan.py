@@ -208,3 +208,103 @@ class TestDayrunParity:
         assert sanitized.sim.sanitizer is not None
         assert plain.platform.traces.digest() == \
             sanitized.platform.traces.digest()
+
+
+class TestLeaseGuard:
+    """The runtime mirror of SL014: DurableQ reports protocol events
+    and the guard raises on the FSM's error transitions — injected via
+    crafted handlers running inside a sanitized simulation."""
+
+    def _queue(self):
+        from repro.core import DurableQ, FunctionCall
+        from repro.core.call import CallIdAllocator
+        from repro.workloads import FunctionSpec
+
+        sim = Simulator(sanitize=True)
+        q = DurableQ(sim, "dq-test", "region-00")
+        ids = CallIdAllocator()
+        call = FunctionCall(spec=FunctionSpec(name="f"),
+                            submit_time=sim.now, start_time=sim.now,
+                            region_submitted="region-00",
+                            call_id=ids.allocate())
+        q.enqueue(call)
+        return sim, q, call
+
+    def test_double_ack_raises(self):
+        sim, q, call = self._queue()
+
+        def handler():
+            [leased] = q.poll("s1", 1)
+            q.ack(leased)
+            q.ack(leased)
+
+        sim.call_after(1.0, handler)
+        with pytest.raises(SanitizeError, match="ACK of call .* ACKed"):
+            sim.run_until(5.0)
+
+    def test_extend_after_ack_raises(self):
+        sim, q, call = self._queue()
+
+        def handler():
+            [leased] = q.poll("s1", 1)
+            q.ack(leased)
+            q.extend_lease(leased.call_id)
+
+        sim.call_after(1.0, handler)
+        with pytest.raises(SanitizeError, match="extend_lease of call"):
+            sim.run_until(5.0)
+
+    def test_ack_then_nack_raises(self):
+        sim, q, call = self._queue()
+
+        def handler():
+            [leased] = q.poll("s1", 1)
+            q.nack(leased, retry_delay_s=1.0)
+            q.ack(leased)
+
+        sim.call_after(1.0, handler)
+        with pytest.raises(SanitizeError, match="ACK of call .* NACKed"):
+            sim.run_until(5.0)
+
+    def test_legal_lifecycle_is_silent(self):
+        # nack -> redelivery -> second lease -> ack is the blessed
+        # at-least-once path and must not trip the guard.
+        sim, q, call = self._queue()
+        done = []
+
+        def first():
+            [leased] = q.poll("s1", 1)
+            q.extend_lease(leased.call_id)
+            q.nack(leased, retry_delay_s=1.0)
+
+        def second():
+            [leased] = q.poll("s2", 1)
+            q.ack(leased)
+            done.append(leased.call_id)
+
+        sim.call_after(1.0, first)
+        sim.call_after(3.0, second)
+        sim.run_until(5.0)
+        q.stop()
+        assert done == [call.call_id]
+
+    def test_expired_lease_stays_tolerant(self):
+        # Expiry forgets the call: the late ACK is a no-op (exactly
+        # DurableQ's own behavior) and the re-lease + settle is legal.
+        from repro.sim.simsan import LeaseGuard
+
+        guard = LeaseGuard()
+        guard.on_lease("dq", 7)
+        guard.on_expire("dq", 7)
+        guard.on_ack("dq", 7)        # late ack after expiry: tolerated
+        guard.on_lease("dq", 7)      # redelivery to another scheduler
+        guard.on_ack("dq", 7)
+        with pytest.raises(SanitizeError):
+            guard.on_ack("dq", 7)    # but a true double-ACK still raises
+
+    def test_plain_run_has_no_guard(self):
+        from repro.core import DurableQ
+
+        sim = Simulator()
+        q = DurableQ(sim, "dq-test", "region-00")
+        assert q._lease_guard is None

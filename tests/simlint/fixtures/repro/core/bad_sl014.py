@@ -1,0 +1,40 @@
+"""True positives for SL014: DurableQ lease-protocol violations."""
+
+
+def settle(q, call):
+    q.ack(call)
+
+
+def double_ack(q):
+    for call in q.poll("sched-0", 4):
+        q.ack(call)
+        q.ack(call)
+
+
+def ack_then_nack(q):
+    for call in q.poll("sched-0", 4):
+        q.ack(call)
+        q.nack(call, retry_delay_s=1.0)
+
+
+def extend_after_settle(q):
+    for call in q.poll("sched-0", 4):
+        q.ack(call)
+        q.extend_lease(call.call_id)
+
+
+def dropped_poll_result(q):
+    q.poll("sched-0", 4)
+
+
+def unsettled_on_one_branch(q, ok):
+    calls = q.poll("sched-0", 4)
+    for call in calls:
+        if ok:
+            q.ack(call)
+
+
+def double_settle_via_helper(q):
+    for call in q.poll("sched-0", 4):
+        settle(q, call)
+        q.ack(call)

@@ -1,0 +1,48 @@
+"""True negatives for SL014: the blessed lease idioms."""
+
+
+class Buffer:
+    def __init__(self):
+        self._inflight = {}
+
+    def take(self, call, q):
+        # Handing an unsettled call to an owner is the scheduler's
+        # normal path: the inflight map settles it later.
+        self._inflight[call.call_id] = (call, q)
+
+
+def ack_each_exactly_once(q):
+    for call in q.poll("sched-0", 8):
+        q.ack(call)
+
+
+def settle_on_every_branch(q, ok):
+    for call in q.poll("sched-0", 8):
+        if ok:
+            q.ack(call)
+        else:
+            q.nack(call, retry_delay_s=1.0)
+
+
+def try_finally_ack(q, run):
+    for call in q.poll("sched-0", 8):
+        try:
+            run(call)
+        finally:
+            q.ack(call)
+
+
+def extend_while_polled(q):
+    for call in q.poll("sched-0", 8):
+        q.extend_lease(call.call_id)
+        q.ack(call)
+
+
+def buffer_escape(q, buf):
+    for call in q.poll("sched-0", 8):
+        buf.take(call, q)
+
+
+def return_poll_result(q):
+    # The caller owns the collection and its obligations.
+    return q.poll("sched-0", 8)

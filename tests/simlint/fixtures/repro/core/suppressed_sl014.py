@@ -1,0 +1,7 @@
+"""Suppression check for SL014."""
+
+
+def drain_probe(q):
+    # A diagnostics probe that deliberately leans on the lease sweep
+    # to re-queue what it polled.
+    q.poll("sched-0", 1)  # simlint: disable=SL014 -- sweep re-queues

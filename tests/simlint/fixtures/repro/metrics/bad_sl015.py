@@ -1,0 +1,23 @@
+"""True positives for SL015: snapshot/merge discipline violations."""
+
+
+def merge_twice(merged, shard):
+    snap = shard.snapshot()
+    merged.merge(snap)
+    merged.merge(snap)
+
+
+def mutate_between_snapshot_and_merge(registry, merged):
+    snap = registry.snapshot()
+    registry.counter("calls_total").inc()
+    merged.merge(snap)
+
+
+def self_merge(registry):
+    registry.merge(registry)
+
+
+def rehydrate_then_merge_again(registry, merged):
+    snap = registry.snapshot()
+    merged.merge(snap)
+    return type(registry).from_snapshot(snap)

@@ -1,0 +1,35 @@
+"""True negatives for SL015: the blessed snapshot/merge idioms."""
+
+
+def merge_once(merged, shard):
+    snap = shard.snapshot()
+    merged.merge(snap)
+
+
+def mutate_after_merge(registry, merged):
+    snap = registry.snapshot()
+    merged.merge(snap)
+    registry.counter("calls_total").inc()
+
+
+def mutate_unrelated_registry(registry, scratch, merged):
+    snap = registry.snapshot()
+    scratch.counter("calls_total").inc()
+    merged.merge(snap)
+
+
+def fold_shard_snapshots(merged, shards):
+    for shard in shards:
+        merged.merge(shard.snapshot())
+
+
+def ship_snapshot(registry, outbox):
+    # Escaping a snapshot hands its merge obligation to the receiver.
+    outbox.append(registry.snapshot())
+
+
+def resnapshot_after_mutation(registry, merged):
+    snap = registry.snapshot()
+    merged.merge(snap)
+    registry.counter("calls_total").inc()
+    merged.merge(registry.snapshot())

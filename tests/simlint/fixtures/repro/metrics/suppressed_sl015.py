@@ -1,0 +1,8 @@
+"""Suppression check for SL015."""
+
+
+def double_fold_for_weighting(merged, shard):
+    # Deliberate 2x weighting of one shard in an ablation harness.
+    snap = shard.snapshot()
+    merged.merge(snap)
+    merged.merge(snap)  # simlint: disable=SL015 -- deliberate 2x weight

@@ -1,0 +1,41 @@
+"""True positives for SL013: event-handle lifecycle violations.
+
+Every finding here is invisible to SL006 — no negative delay literal
+and no literal ``.cancelled = False`` store — which is the acceptance
+pairing (SL006-clean, SL013-hit): the typestate rule follows the
+handle through aliases, helpers, and rebinding.
+"""
+
+
+def stop(handle):
+    handle.cancel()
+
+
+def double_cancel_via_alias(sim, fn):
+    h = sim.call_after(1.0, fn)
+    alias = h
+    alias.cancel()
+    h.cancel()
+
+
+def double_cancel_via_helper(sim, fn):
+    h = sim.call_after(1.0, fn)
+    stop(h)
+    h.cancel()
+
+
+def rearm_with_flag(sim, fn, flag):
+    h = sim.call_after(1.0, fn)
+    h.cancel()
+    h.cancelled = flag
+
+
+def double_arm(sim, fn):
+    h = sim.call_after(1.0, fn)
+    h = sim.call_after(2.0, fn)
+    h.cancel()
+
+
+def leaked_armed_local(sim, fn, work):
+    h = sim.call_at(5.0, fn)
+    return work()

@@ -1,0 +1,45 @@
+"""True negatives for SL013: every handle idiom the kernel blesses."""
+
+
+class Component:
+    def __init__(self, sim, fn):
+        # Stored handles have an owner that can cancel them later.
+        self._tick = sim.every(1.0, fn)
+        self._timeout = sim.call_after(30.0, fn)
+
+    def stop(self):
+        self._tick.cancel()
+
+
+def fire_and_forget(sim, fn):
+    # An unbound schedule is the normal one-shot idiom.
+    sim.call_after(1.0, fn)
+
+
+def cancel_once(sim, fn):
+    h = sim.call_after(1.0, fn)
+    h.cancel()
+
+
+def cancel_on_one_branch_then_escape(sim, fn, registry, early):
+    h = sim.call_after(1.0, fn)
+    if early:
+        h.cancel()
+        return None
+    registry.append(h)
+    return h
+
+
+def rebind_after_cancel(sim, fn):
+    # Rearming the *name* is fine once the old handle is settled.
+    h = sim.call_after(1.0, fn)
+    h.cancel()
+    h = sim.call_after(2.0, fn)
+    return h
+
+
+def alias_single_cancel(sim, fn):
+    h = sim.call_after(1.0, fn)
+    alias = h
+    alias.cancel()
+    return h.cancelled

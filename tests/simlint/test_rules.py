@@ -24,6 +24,9 @@ CASES = {
     "SL010": ("parsim/bad_sl010.py", 5),
     "SL011": ("parsim/bad_sl011.py", 3),
     "SL012": ("parsim/bad_sl012.py", 5),
+    "SL013": ("sim/bad_sl013.py", 6),
+    "SL014": ("core/bad_sl014.py", 6),
+    "SL015": ("metrics/bad_sl015.py", 4),
 }
 
 GOOD = {
@@ -39,6 +42,9 @@ GOOD = {
     "SL010": "parsim/good_sl010.py",
     "SL011": "parsim/good_sl011.py",
     "SL012": "parsim/good_sl012.py",
+    "SL013": "sim/good_sl013.py",
+    "SL014": "core/good_sl014.py",
+    "SL015": "metrics/good_sl015.py",
 }
 
 SUPPRESSED = {
@@ -54,6 +60,9 @@ SUPPRESSED = {
     "SL010": "parsim/suppressed_sl010.py",
     "SL011": "parsim/suppressed_sl011.py",
     "SL012": "parsim/suppressed_sl012.py",
+    "SL013": "sim/suppressed_sl013.py",
+    "SL014": "core/suppressed_sl014.py",
+    "SL015": "metrics/suppressed_sl015.py",
 }
 
 
@@ -114,7 +123,8 @@ class TestRegistry:
     def test_all_rules_registered(self):
         assert sorted(rules_by_id()) == [
             "SL001", "SL002", "SL003", "SL004", "SL005", "SL006", "SL007",
-            "SL008", "SL009", "SL010", "SL011", "SL012"]
+            "SL008", "SL009", "SL010", "SL011", "SL012", "SL013", "SL014",
+            "SL015"]
 
     def test_every_rule_documents_itself(self):
         for rule in ALL_RULES:
@@ -147,4 +157,26 @@ class TestSL010SupersetOfSL009:
 
     def test_suppressed_sl009_does_not_resurface_as_sl010(self):
         found = findings_for(SUPPRESSED["SL009"])
+        assert found == []
+
+
+class TestSL013SupersetOfSL006:
+    """The lifecycle pairing: SL013 catches what SL006 provably
+    misses (aliases, helpers, rebinding, non-literal re-arm), and
+    never re-reports SL006's literal patterns."""
+
+    def test_typestate_fixture_is_sl006_clean_but_sl013_hit(self):
+        found = findings_for(CASES["SL013"][0])
+        assert [f for f in found if f.rule_id == "SL006"] == []
+        assert len([f for f in found if f.rule_id == "SL013"]) >= 6
+
+    def test_literal_fixture_is_sl013_clean(self):
+        # Negative delays and literal .cancelled = False stores are
+        # SL006's findings alone — no double-reporting.
+        found = findings_for(CASES["SL006"][0])
+        assert [f for f in found if f.rule_id == "SL013"] == []
+        assert len([f for f in found if f.rule_id == "SL006"]) >= 3
+
+    def test_suppressed_sl006_does_not_resurface_as_sl013(self):
+        found = findings_for(SUPPRESSED["SL006"])
         assert found == []

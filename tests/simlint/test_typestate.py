@@ -1,0 +1,429 @@
+"""Unit tests for the typestate (protocol FSM) layer.
+
+Fixture-file coverage lives in test_rules.py; these tests poke the
+machinery directly — the abstract lattice joins at branches and loops,
+alias tracking, escape discipline, and summary replay across calls —
+via lint_source on small crafted modules."""
+
+from repro.simlint import ALL_RULES, lint_source
+from repro.simlint.engine import LintContext, Project
+from repro.simlint.typestate import (
+    HANDLE,
+    LEASE,
+    OPAQUE,
+    PROTOCOLS,
+    SNAPSHOT,
+    TypestateAnalysis,
+    typestate_analysis,
+)
+
+MOD = "repro/core/tsmod.py"
+
+
+def ts_findings(src, rule_id=None, path=MOD):
+    found = lint_source(src, path, ALL_RULES)
+    if rule_id is not None:
+        found = [f for f in found if f.rule_id == rule_id]
+    return found
+
+
+def analysis_of(src, path=MOD):
+    ctx = LintContext(src, path)
+    return TypestateAnalysis(Project([ctx]))
+
+
+class TestProtocolDeclarations:
+    """The FSMs are data; pin the load-bearing shape."""
+
+    def test_lease_settles_exactly_once(self):
+        assert LEASE.transitions[("polled", "ack")] == "acked"
+        assert LEASE.transitions[("polled", "nack")] == "nacked"
+        for settled in ("acked", "nacked"):
+            for event in ("ack", "nack", "extend"):
+                assert (settled, event) in LEASE.errors
+
+    def test_extend_only_while_polled(self):
+        assert LEASE.transitions[("polled", "extend")] == "polled"
+
+    def test_handle_is_one_shot(self):
+        assert HANDLE.transitions[("armed", "cancel")] == "cancelled"
+        assert ("cancelled", "cancel") in HANDLE.errors
+
+    def test_snapshot_pairs_once(self):
+        assert SNAPSHOT.transitions[("fresh", "consume")] == "consumed"
+        assert ("consumed", "consume") in SNAPSHOT.errors
+
+    def test_every_protocol_steps_opaque_sources(self):
+        # Parameters enter functions in the OPAQUE state; every event
+        # must have a transition out of it or summaries cannot form.
+        for proto in PROTOCOLS:
+            events = set(proto.arg_events.values()) | set(
+                proto.recv_events.values())
+            for event in events:
+                assert (OPAQUE, event) in proto.transitions, (
+                    proto.name, event)
+
+
+class TestBranchJoins:
+    def test_settle_in_one_branch_only_leaks(self):
+        found = ts_findings(
+            "def f(q, ok):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        if ok:\n"
+            "            q.ack(call)\n",
+            "SL014")
+        assert len(found) == 1
+        assert "unsettled" in found[0].message
+
+    def test_settle_in_both_branches_is_clean(self):
+        found = ts_findings(
+            "def f(q, ok):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        if ok:\n"
+            "            q.ack(call)\n"
+            "        else:\n"
+            "            q.nack(call, retry_delay_s=1.0)\n",
+            "SL014")
+        assert found == []
+
+    def test_settle_then_settle_after_join_is_may_violation(self):
+        # One branch acks; the join state is {polled, acked}; a second
+        # ack is an error on the acked member.
+        found = ts_findings(
+            "def f(q, ok):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        if ok:\n"
+            "            q.ack(call)\n"
+            "        q.ack(call)\n",
+            "SL014")
+        assert len(found) == 1
+        assert "already ACKed" in found[0].message
+
+    def test_early_return_after_settle_is_clean(self):
+        found = ts_findings(
+            "def f(q):\n"
+            "    calls = q.poll('s', 1)\n"
+            "    call = calls[0]\n"
+            "    if call.urgent:\n"
+            "        q.ack(call)\n"
+            "        return True\n"
+            "    q.nack(call, retry_delay_s=1.0)\n"
+            "    return False\n",
+            "SL014")
+        assert found == []
+
+    def test_early_return_with_unsettled_path_leaks(self):
+        found = ts_findings(
+            "def f(q):\n"
+            "    calls = q.poll('s', 1)\n"
+            "    call = calls[0]\n"
+            "    if call.urgent:\n"
+            "        return True\n"
+            "    q.ack(call)\n"
+            "    return False\n",
+            "SL014")
+        assert len(found) == 1
+        assert "unsettled" in found[0].message
+
+    def test_raise_path_carries_no_leak(self):
+        # An exception path abandons the lease to the sweep by design.
+        found = ts_findings(
+            "def f(q):\n"
+            "    calls = q.poll('s', 1)\n"
+            "    call = calls[0]\n"
+            "    if call.poisoned:\n"
+            "        raise ValueError(call.call_id)\n"
+            "    q.ack(call)\n",
+            "SL014")
+        assert found == []
+
+
+class TestLoops:
+    def test_settle_inside_loop_is_double_settle(self):
+        # The second monotone pass sees the first pass's acked state —
+        # and the zero-iteration path legitimately leaks the lease too.
+        found = ts_findings(
+            "def f(q, times):\n"
+            "    calls = q.poll('s', 1)\n"
+            "    call = calls[0]\n"
+            "    for _ in times:\n"
+            "        q.ack(call)\n",
+            "SL014")
+        assert any("already ACKed" in f.message for f in found)
+        assert any("unsettled" in f.message for f in found)
+
+    def test_fresh_element_per_iteration_is_clean(self):
+        # Each loop iteration binds a *fresh* element of the poll
+        # result; one ack per element is the blessed idiom.
+        found = ts_findings(
+            "def f(q):\n"
+            "    for call in q.poll('s', 8):\n"
+            "        q.ack(call)\n",
+            "SL014")
+        assert found == []
+
+    def test_break_path_joins_into_loop_exit(self):
+        found = ts_findings(
+            "def f(q):\n"
+            "    calls = q.poll('s', 1)\n"
+            "    call = calls[0]\n"
+            "    while True:\n"
+            "        if call.ready:\n"
+            "            break\n"
+            "    q.ack(call)\n",
+            "SL014")
+        assert found == []
+
+
+class TestAliases:
+    def test_alias_settle_is_one_settle(self):
+        found = ts_findings(
+            "def f(q):\n"
+            "    calls = q.poll('s', 1)\n"
+            "    call = calls[0]\n"
+            "    same = call\n"
+            "    q.ack(same)\n",
+            "SL014")
+        assert found == []
+
+    def test_settle_through_both_alias_and_original(self):
+        found = ts_findings(
+            "def f(q):\n"
+            "    calls = q.poll('s', 1)\n"
+            "    call = calls[0]\n"
+            "    same = call\n"
+            "    q.ack(same)\n"
+            "    q.ack(call)\n",
+            "SL014")
+        assert len(found) == 1
+
+    def test_alias_rebinding_forgets_old_object(self):
+        # After `h` is rebound to the second handle, cancelling via
+        # the alias and via `h` touch *different* objects — clean.
+        found = ts_findings(
+            "def f(sim, fn):\n"
+            "    h = sim.call_after(1.0, fn)\n"
+            "    alias = h\n"
+            "    alias.cancel()\n"
+            "    h = sim.call_after(2.0, fn)\n"
+            "    h.cancel()\n",
+            "SL013")
+        assert found == []
+
+    def test_rebinding_an_armed_handle_is_double_arm(self):
+        found = ts_findings(
+            "def f(sim, fn):\n"
+            "    h = sim.call_after(1.0, fn)\n"
+            "    h = sim.call_after(2.0, fn)\n"
+            "    h.cancel()\n",
+            "SL013")
+        assert any("double-arm" in f.message for f in found)
+
+
+class TestTryFinally:
+    def test_try_finally_ack_is_clean(self):
+        found = ts_findings(
+            "def f(q, run):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        try:\n"
+            "            run(call)\n"
+            "        finally:\n"
+            "            q.ack(call)\n",
+            "SL014")
+        assert found == []
+
+    def test_ack_in_body_nack_in_handler_is_clean(self):
+        # The handler resumes from the try's entry state (polled), so
+        # ack-then-nack across body/handler is not a violation.
+        found = ts_findings(
+            "def f(q, run):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        try:\n"
+            "            run(call)\n"
+            "            q.ack(call)\n"
+            "        except Exception:\n"
+            "            q.nack(call, retry_delay_s=1.0)\n",
+            "SL014")
+        assert found == []
+
+    def test_finally_ack_after_body_ack_is_double(self):
+        found = ts_findings(
+            "def f(q):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        try:\n"
+            "            q.ack(call)\n"
+            "        finally:\n"
+            "            q.ack(call)\n",
+            "SL014")
+        assert len(found) == 1
+
+
+class TestEscapes:
+    def test_store_into_attribute_escapes(self):
+        found = ts_findings(
+            "class B:\n"
+            "    def take(self, q):\n"
+            "        for call in q.poll('s', 4):\n"
+            "            self._inflight[call.call_id] = call\n",
+            "SL014")
+        assert found == []
+
+    def test_unknown_call_escapes(self):
+        # ship() is unresolved: the call may settle or store the lease;
+        # conservatism means no finding either way afterwards.
+        found = ts_findings(
+            "def f(q, ship):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        ship(call)\n",
+            "SL014")
+        assert found == []
+
+    def test_closure_capture_escapes(self):
+        found = ts_findings(
+            "def f(q, defer):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        defer(lambda: q.ack(call))\n",
+            "SL014")
+        assert found == []
+
+    def test_deferred_settle_in_lambda_does_not_step_fsm(self):
+        # A settle inside a lambda runs later (if ever): it must not
+        # advance the FSM now, so an eager ack before the deferred
+        # nack is NOT a double-settle — the capture just escapes.
+        found = ts_findings(
+            "def f(q, defer):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        q.ack(call)\n"
+            "        defer(lambda: q.nack(call))\n",
+            "SL014")
+        assert found == []
+
+    def test_attribute_read_does_not_escape(self):
+        # Reading fields off a leased call must not launder the
+        # obligation away: the unsettled path still leaks.
+        found = ts_findings(
+            "def f(q, log):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        log(call.call_id, call.function_name)\n",
+            "SL014")
+        assert len(found) == 1
+        assert "unsettled" in found[0].message
+
+
+class TestParameters:
+    def test_double_settle_of_parameter(self):
+        # Parameters enter OPAQUE: the first ack is legal, the second
+        # is not.
+        found = ts_findings(
+            "def f(q, call):\n"
+            "    q.ack(call)\n"
+            "    q.ack(call)\n",
+            "SL014")
+        assert len(found) == 1
+
+    def test_parameter_never_leaks(self):
+        # Obligations for parameters belong to the caller.
+        found = ts_findings(
+            "def f(q, call):\n"
+            "    q.extend_lease(call.call_id)\n",
+            "SL014")
+        assert found == []
+
+
+class TestSummaries:
+    def test_helper_settle_then_caller_settle(self):
+        found = ts_findings(
+            "def settle(q, call):\n"
+            "    q.ack(call)\n"
+            "\n"
+            "def f(q):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        settle(q, call)\n"
+            "        q.ack(call)\n",
+            "SL014")
+        assert len(found) == 1
+        assert "via settle()" in found[0].message or (
+            "already ACKed" in found[0].message)
+
+    def test_helper_settle_alone_discharges_obligation(self):
+        found = ts_findings(
+            "def settle(q, call):\n"
+            "    q.ack(call)\n"
+            "\n"
+            "def f(q):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        settle(q, call)\n",
+            "SL014")
+        assert found == []
+
+    def test_branchy_helper_summary_is_union(self):
+        # The helper settles only on one branch; the caller's state
+        # after the call is {polled, acked} — so the unsettled member
+        # still leaks.
+        found = ts_findings(
+            "def maybe_settle(q, call, ok):\n"
+            "    if ok:\n"
+            "        q.ack(call)\n"
+            "\n"
+            "def f(q, ok):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        maybe_settle(q, call, ok)\n",
+            "SL014")
+        assert len(found) == 1
+        assert "unsettled" in found[0].message
+
+    def test_summary_fixpoint_through_two_levels(self):
+        found = ts_findings(
+            "def inner(q, call):\n"
+            "    q.ack(call)\n"
+            "\n"
+            "def outer(q, call):\n"
+            "    inner(q, call)\n"
+            "\n"
+            "def f(q):\n"
+            "    for call in q.poll('s', 4):\n"
+            "        outer(q, call)\n"
+            "        q.ack(call)\n",
+            "SL014")
+        assert len(found) == 1
+
+    def test_summary_exposes_final_states(self):
+        analysis = analysis_of(
+            "def settle(q, call, ok):\n"
+            "    if ok:\n"
+            "        q.ack(call)\n"
+            "    else:\n"
+            "        q.nack(call, retry_delay_s=1.0)\n")
+        summary = analysis.summaries["repro.core.tsmod:settle"]
+        proto, states = summary.params[1]
+        assert proto == "lease"
+        assert states == frozenset({"acked", "nacked"})
+
+    def test_returned_acquisition_tracked_in_caller(self):
+        found = ts_findings(
+            "def arm(sim, fn):\n"
+            "    return sim.call_after(1.0, fn)\n"
+            "\n"
+            "def f(sim, fn):\n"
+            "    h = arm(sim, fn)\n"
+            "    h.cancel()\n"
+            "    h.cancel()\n",
+            "SL013")
+        assert len(found) == 1
+        assert "one-shot" in found[0].message
+
+
+class TestAnalysisPlumbing:
+    def test_analysis_is_cached_on_project(self):
+        ctx = LintContext("def f(q):\n    q.poll('s', 1)\n", MOD)
+        project = Project([ctx])
+        first = typestate_analysis(project)
+        assert typestate_analysis(project) is first
+
+    def test_findings_deduplicate(self):
+        analysis = analysis_of(
+            "def f(q):\n"
+            "    q.poll('s', 1)\n")
+        keys = [(r, c.path, n.lineno, m)
+                for r, c, n, m in analysis.findings()]
+        assert len(keys) == len(set(keys))
