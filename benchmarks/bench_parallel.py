@@ -42,6 +42,7 @@ sys.path.insert(0, str(BENCH_DIR))
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from conftest import require_label  # noqa: E402
 from bench_speed import load_records, provenance  # noqa: E402
 
 from repro.parsim import ParsimSpec, available_cpus, run_parsim  # noqa: E402
@@ -132,6 +133,7 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default="",
                         help="free-form description stored with each record")
     args = parser.parse_args(argv)
+    require_label(parser, args)
 
     usable = available_cpus()
     records = load_records()

@@ -34,7 +34,7 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from bench_speed import load_records, provenance  # noqa: E402
-from conftest import build_dayrun  # noqa: E402
+from conftest import build_dayrun, require_label  # noqa: E402
 
 FULL_HORIZON_S = 3600.0
 QUICK_HORIZON_S = 600.0
@@ -81,6 +81,7 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default="",
                         help="free-form description stored with the record")
     args = parser.parse_args(argv)
+    require_label(parser, args)
 
     mode = "quick" if args.quick else "full"
     rec = run_benchmark(mode, args.label)

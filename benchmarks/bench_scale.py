@@ -40,6 +40,7 @@ sys.path.insert(0, str(BENCH_DIR))
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from conftest import require_label  # noqa: E402
 from bench_speed import (  # noqa: E402
     latest_baseline,
     load_records,
@@ -131,6 +132,7 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default="",
                         help="free-form description stored with each record")
     args = parser.parse_args(argv)
+    require_label(parser, args)
 
     records = load_records()
     full_ref = latest_baseline(records, "full")

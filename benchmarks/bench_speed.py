@@ -37,10 +37,27 @@ sys.path.insert(0, str(BENCH_DIR))
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from conftest import build_dayrun  # noqa: E402
+from conftest import build_dayrun, require_label  # noqa: E402
 
 FULL_HORIZON_S = 3600.0
 QUICK_HORIZON_S = 600.0
+
+
+def peak_rss_mb() -> float:
+    """Process peak resident set size in MB (informational).
+
+    ``ru_maxrss`` is the high-water mark over the whole process
+    lifetime, which for a one-run bench process is the run's peak.  Not
+    a gate — RSS depends on the allocator and interpreter build — but a
+    committed series of it makes memory regressions visible next to the
+    throughput numbers.
+    """
+    try:
+        import resource
+    except ImportError:       # non-POSIX platform
+        return 0.0
+    kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return round(kb / 1024.0, 1)
 
 
 def provenance() -> dict:
@@ -92,6 +109,7 @@ def run_benchmark(mode: str, label: str = "") -> dict:
         "events_per_sec": round(sim.events_executed / wall_s, 1),
         "n_traces": len(platform.traces),
         "trace_digest": trace_digest(platform),
+        "peak_rss_mb": peak_rss_mb(),
         **provenance(),
     }
 
@@ -123,6 +141,7 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default="",
                         help="free-form description stored with the record")
     args = parser.parse_args(argv)
+    require_label(parser, args)
 
     mode = "quick" if args.quick else "full"
     records = load_records()
@@ -131,7 +150,8 @@ def main(argv=None) -> int:
     rec = run_benchmark(mode, args.label)
     print(f"[{mode}] {rec['events_executed']} events in {rec['wall_s']:.2f}s "
           f"-> {rec['events_per_sec']:.0f} events/sec "
-          f"({rec['n_traces']} traces, digest {rec['trace_digest'][:12]}...)")
+          f"({rec['n_traces']} traces, digest {rec['trace_digest'][:12]}..., "
+          f"peak RSS {rec['peak_rss_mb']:.0f} MB)")
 
     if baseline:
         base_evps = baseline["events_per_sec"]

@@ -38,6 +38,9 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.sweep import build_grid, run_sweep, sweep_report  # noqa: E402
 
+sys.path.insert(0, str(BENCH_DIR))
+from conftest import require_label  # noqa: E402
+
 N_RUNS = 8
 FULL_HORIZON_S = 3600.0
 QUICK_HORIZON_S = 900.0
@@ -98,6 +101,7 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default="",
                         help="free-form description stored with the record")
     args = parser.parse_args(argv)
+    require_label(parser, args)
 
     mode = "quick" if args.quick else "full"
     rec = run_benchmark(mode, max(args.workers, 2), args.label)

@@ -27,6 +27,23 @@ from repro.scenarios import DayRun, build_dayrun
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def require_label(parser, args) -> None:
+    """Benchmark writers call this before appending a record.
+
+    Committed benchmark records are provenance: an empty ``label`` makes
+    a number unexplainable a PR later (what machine state? what change
+    was being measured?).  Appending therefore requires a non-empty
+    ``--label``; read-only ``--check`` runs are exempt because they
+    write nothing.
+    """
+    if getattr(args, "check", False):
+        return
+    if not (args.label or "").strip():
+        parser.error("--label is required when appending a benchmark "
+                     "record (describe what this measurement is); "
+                     "use --check for a no-write comparison run")
+
+
 def write_result(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"

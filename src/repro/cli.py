@@ -305,10 +305,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
-    from .profile import ProfileRecorder
+    from .profile import AllocationRecorder, ProfileRecorder
     from .scenarios import build_dayrun
 
     horizon_s = 600.0 if args.quick else args.hours * 3600.0
+    if args.alloc:
+        return _profile_alloc(args, horizon_s)
     recorder = ProfileRecorder()
     if not args.json:
         print(f"profiling dayrun ({horizon_s / 3600.0:.2f} h simulated, "
@@ -346,6 +348,52 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"DIGEST MISMATCH: profiled run produced {digest}, "
               f"expected {args.expect_digest} — profiling changed "
               "simulation behavior", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _profile_alloc(args: argparse.Namespace, horizon_s: float) -> int:
+    """``profile --alloc``: tracemalloc attribution instead of wall time."""
+    from .profile import AllocationRecorder
+    from .scenarios import build_dayrun
+
+    if not args.json:
+        print(f"tracing allocations over a dayrun "
+              f"({horizon_s / 3600.0:.2f} h simulated, seed {args.seed}) "
+              "...", flush=True)
+    recorder = AllocationRecorder()
+    with recorder.capturing():
+        run = build_dayrun(seed=args.seed, horizon_s=horizon_s)
+    digest = run.platform.traces.digest()
+    arena = run.platform.arena
+    arena_stats = {
+        "rows": len(arena),
+        "allocated_total": arena.allocated_total,
+        "released_total": arena.released_total,
+        "live_at_end": arena.live_count(),
+    }
+    if args.json:
+        print(json.dumps({
+            "horizon_s": horizon_s, "seed": args.seed,
+            "events_executed": run.sim.events_executed,
+            "trace_digest": digest,
+            "alloc": recorder.to_json(top=args.top),
+            "call_arena": arena_stats,
+        }, indent=1))
+    else:
+        print()
+        print(recorder.table(top=args.top))
+        print()
+        print(f"call arena: {arena_stats['allocated_total']} calls in "
+              f"{arena_stats['rows']} rows "
+              f"({arena_stats['released_total']} slots recycled, "
+              f"{arena_stats['live_at_end']} live at end)")
+        print(f"events executed: {run.sim.events_executed}, "
+              f"trace digest {digest[:12]}...")
+    if args.expect_digest and digest != args.expect_digest:
+        print(f"DIGEST MISMATCH: traced run produced {digest}, "
+              f"expected {args.expect_digest} — allocation tracing "
+              "changed simulation behavior", file=sys.stderr)
         return 1
     return 0
 
@@ -470,6 +518,11 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--flamegraph", metavar="PATH",
                         help="write collapsed stacks for flamegraph.pl / "
                              "speedscope ('-' for stdout)")
+    prof_p.add_argument("--alloc", action="store_true",
+                        help="attribute allocations (tracemalloc) instead "
+                             "of wall time: live blocks/bytes per source "
+                             "file, peak traced memory, and call-arena "
+                             "recycling stats")
     prof_p.add_argument("--expect-digest", metavar="SHA256",
                         help="fail unless the profiled run's trace digest "
                              "matches (CI parity check)")

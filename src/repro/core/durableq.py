@@ -70,8 +70,7 @@ class DurableQ:
     # ------------------------------------------------------------------
     def enqueue(self, call: FunctionCall) -> None:
         """Persist a call (write from a submitter via QueueLB)."""
-        call.state = CallState.QUEUED
-        call.durableq_region = self.region
+        call.mark_queued(self.region)
         name = call.function_name
         self._register_name(name)
         heapq.heappush(self._queues[name],
@@ -128,7 +127,7 @@ class DurableQ:
                 if start_time > now:
                     break
                 heappop(queue)
-                call.state = CallState.BUFFERED
+                call.mark_buffered()
                 if guard is not None:
                     guard.on_lease(self.name, call.call_id)
                 leases[call.call_id] = _Lease(
@@ -182,12 +181,21 @@ class DurableQ:
     # serialized copy of the call — the authoritative object lives in
     # this queue's lease table (repro.parsim message handlers).
     # ------------------------------------------------------------------
-    def ack_by_id(self, call_id: int) -> None:
-        """ACK a leased call identified only by its id."""
+    def ack_by_id(self, call_id: int) -> Optional[FunctionCall]:
+        """ACK a leased call identified only by its id.
+
+        Returns the acked call (or None when no lease matched) so the
+        caller can recycle its arena slot — in parallel mode the owning
+        shard's record becomes garbage the moment the executing shard's
+        ACK lands.
+        """
         if self._lease_guard is not None:
             self._lease_guard.on_ack(self.name, call_id)
-        if self._leases.pop(call_id, None) is not None:
-            self.acked_count += 1
+        lease = self._leases.pop(call_id, None)
+        if lease is None:
+            return None
+        self.acked_count += 1
+        return lease.call
 
     def nack_by_id(self, call_id: int, retry_delay_s: float = 0.0) -> None:
         """NACK a leased call identified only by its id."""

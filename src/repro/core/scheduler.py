@@ -325,7 +325,8 @@ class Scheduler:
             placement_failures = 0
             deferred: List[FunctionCall] = []
             while heap:
-                call = heap[0][1]
+                head = heap[0]
+                call = head[1]
                 spec = call.spec
                 if call.source_level > spec.isolation_level:
                     self.isolation_denials += 1
@@ -333,7 +334,10 @@ class Scheduler:
                     heappop_(heap)
                     self._buffered_total -= 1
                     continue  # terminal; next call
-                if drop_expired and now > call.start_time + spec.deadline_s:
+                # head[0][1] is the memoized sort key's deadline term —
+                # exactly start_time + spec.deadline_s, without touching
+                # the call's arena columns.
+                if drop_expired and now > head[0][1]:
                     self.expired_count += 1
                     self._finalize(call, CallOutcome.ERROR, expired=True)
                     heappop_(heap)
@@ -348,7 +352,7 @@ class Scheduler:
                 # Inline congestion.on_dispatch on the resolved state.
                 cong_st.running += 1
                 cong_st.window_dispatches += 1
-                call.state = CallState.RUNNING
+                call.mark_running()
                 if dispatch(call):
                     self.dispatched_count += 1
                     continue
@@ -357,7 +361,7 @@ class Scheduler:
                 # keeps its gate token; the next tick's recycle refunds
                 # it otherwise).
                 if not runq.full and len(runq) < park_limit:
-                    call.state = CallState.RUNNABLE
+                    call.mark_runnable()
                     runq.push(call)
                     continue
                 # Pipeline full: refund and look a bounded number of
@@ -381,7 +385,7 @@ class Scheduler:
                     cong_st.window_dispatches = wd if wd > 0.0 else 0.0
                     tokens = bucket.tokens + 1.0
                     bucket.tokens = tokens if tokens < cap else cap
-                    call.state = CallState.BUFFERED
+                    call.mark_buffered()
                     buffer.push(call)
                     self._buffered_total += 1
 
@@ -399,11 +403,11 @@ class Scheduler:
             call = self.runq.pop()
             if call is None:
                 break
-            call.state = CallState.RUNNING
+            call.mark_running()
             if self.workerlb.dispatch(call):
                 self.dispatched_count += 1
             else:
-                call.state = CallState.RUNNABLE
+                call.mark_runnable()
                 refused.append(call)
                 misses += 1
         for call in refused:
@@ -413,7 +417,7 @@ class Scheduler:
         name = call.function_name
         self.congestion.cancel_dispatch(name)
         self.rate_limiter.refund(name)
-        call.state = CallState.BUFFERED
+        call.mark_buffered()
         buffer = self._buffers.get(name)
         if buffer is None:
             buffer = FuncBuffer(name)
@@ -456,17 +460,15 @@ class Scheduler:
         if entry is not None:
             _, shard = entry
             shard.ack(call)
-        call.outcome = outcome
         if expired:
-            call.state = CallState.EXPIRED
+            state = CallState.EXPIRED
         elif outcome is CallOutcome.OK:
-            call.state = CallState.COMPLETED
+            state = CallState.COMPLETED
             self.completed_count += 1
         else:
-            call.state = CallState.FAILED
+            state = CallState.FAILED
             self.failed_count += 1
-        if call.finish_time is None:
-            call.finish_time = self.sim.now
+        call.terminalize(outcome, state, self.sim.now)
         if self.on_done is not None:
             self.on_done(call, outcome)
 

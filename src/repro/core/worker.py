@@ -297,24 +297,72 @@ class Worker:
             self.isolation_rejections += 1
             self._finish_now(call, CallOutcome.ISOLATION_DENIED)
             return True  # terminal: do not retry elsewhere
-        self._admit_cache = None
-        if not self.can_admit(call):
-            self.admission_rejections += 1
-            return False
-
-        now = self.sim._now
-        cache = self._admit_cache
-        if cache is not None and cache[0] == call.call_id:
-            _, cpu_minstr, mem_mb, duration, cpu_load = cache
+        if type(self) is Worker:
+            # Fused base-class admission: the WorkerLB probes ~20×
+            # more calls than it places, so the can_admit body is
+            # inlined here — same checks, same arithmetic, same RNG
+            # draw order (resources first), minus the method call and
+            # the _admit_cache round-trip.  Subclasses that override
+            # can_admit (e.g. ElasticWorker) take the virtual path in
+            # the else branch.
+            arr = self._arrays
+            i = self._index
+            if not arr.online[i]:
+                self.admission_rejections += 1
+                return False
+            resources = call.resources
+            if resources is None:
+                resources = self._resources(call)
+            cpu_minstr, mem_mb, exec_s = resources
+            if arr.running[i] >= arr.threads[i]:
+                self.admission_rejections += 1
+                return False
+            spec = call.spec
+            name = spec.name
+            resident_cost = 0.0
+            if name not in self._resident:
+                resident_cost = spec.code_size_mb * self._resident_multiplier
+            if arr.mem_mb[i] + mem_mb + resident_cost > self._mem_limit_mb:
+                self.admission_rejections += 1
+                return False
+            now = self.sim._now
+            if now != self._jit_speed_at:
+                self._jit_speed_at = now
+                self._jit_speed = self.jit.speed(now)
+            speed = self._jit_speed
+            cpu_s = cpu_minstr / (self.machine.core_mips *
+                                  (speed if speed > 1e-6 else 1e-6))
+            duration = exec_s if exec_s > cpu_s else cpu_s
+            cpu_load = cpu_s / duration
+            budget = self._budget_by_name.get(name)
+            if budget is None:
+                budget = (self._bg_cpu_budget
+                          if (spec.quota_type is QuotaType.OPPORTUNISTIC
+                              or spec.criticality <= Criticality.LOW)
+                          else self._cpu_budget)
+                self._budget_by_name[name] = budget
+            if arr.cpu_load[i] + cpu_load > budget:
+                self.admission_rejections += 1
+                return False
         else:
-            # A can_admit override skipped the base computation.
-            cpu_minstr, mem_mb, _ = self._resources(call)
-            speed = self.jit.speed(now)
-            duration = self._duration(call, speed)
-            cpu_load = self._cpu_seconds(cpu_minstr, speed) / duration
+            self._admit_cache = None
+            if not self.can_admit(call):
+                self.admission_rejections += 1
+                return False
+
+            now = self.sim._now
+            cache = self._admit_cache
+            if cache is not None and cache[0] == call.call_id:
+                _, cpu_minstr, mem_mb, duration, cpu_load = cache
+            else:
+                # A can_admit override skipped the base computation.
+                cpu_minstr, mem_mb, _ = self._resources(call)
+                speed = self.jit.speed(now)
+                duration = self._duration(call, speed)
+                cpu_load = self._cpu_seconds(cpu_minstr, speed) / duration
+            name = call.spec.name
         # Residual universal-worker cost: first call of a function loads
         # its (pre-pushed) code from local SSD.
-        name = call.spec.name
         if name not in self._resident:
             duration += self.params.code_load_s
             self._make_resident(name, call.spec.code_size_mb)
@@ -324,9 +372,7 @@ class Worker:
         self.cpu.on_start(now, cpu_load)
         self._live_memory_mb += mem_mb
         self._window_functions.add(name)
-        call.worker_name = self.name
-        call.dispatch_time = now if call.dispatch_time is None \
-            else call.dispatch_time
+        call.mark_dispatched(self.name, now)
         self.calls_started += 1
         handle = self.sim.call_after(
             duration, lambda: self._complete(call.call_id))

@@ -213,10 +213,7 @@ class WorkerLB:
                 x = mem_mb[b] / memory_mb[b]
                 if x > sb:
                     sb = x
-                if sa <= sb:
-                    order = [a, b]
-                else:
-                    order = [b, a]
+                order = [a, b] if sa <= sb else [b, a]
                 for _ in range(extra_probes):
                     r = getrandbits(k)
                     while r >= n:

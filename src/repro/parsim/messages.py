@@ -68,13 +68,18 @@ def serialize_call(call: Any) -> Tuple[Any, ...]:
             call.resources, call.args_spilled)
 
 
-def rehydrate_call(data: Tuple[Any, ...], specs: Dict[str, Any]) -> Any:
+def rehydrate_call(data: Tuple[Any, ...], specs: Dict[str, Any],
+                   arena: Any = None) -> Any:
     """Rebuild a ``FunctionCall`` from :func:`serialize_call` output.
 
     ``specs`` is the receiving shard's function registry — every shard
     replays the full (replicated) registration stream, so the spec is
     always present.  The call lands in ``BUFFERED`` state, exactly
     where :meth:`DurableQ.poll` leaves a locally leased call.
+
+    When the receiving shard passes its ``arena``, the copy lands in an
+    *unpinned* slot there, recycled when the execution terminalizes
+    (ACK release) or the copy is abandoned (remote NACK).
     """
     from ..core.call import CallState, FunctionCall
     (spec_name, submit_time, start_time, region_submitted, source_level,
@@ -84,10 +89,9 @@ def rehydrate_call(data: Tuple[Any, ...], specs: Dict[str, Any]) -> Any:
                         start_time=start_time,
                         region_submitted=region_submitted,
                         source_level=source_level,
-                        args_size_kb=args_size_kb, call_id=call_id)
-    call.state = CallState.BUFFERED
-    call.attempts = attempts
-    call.durableq_region = durableq_region
-    call.resources = resources
-    call.args_spilled = args_spilled
+                        args_size_kb=args_size_kb, call_id=call_id,
+                        state=CallState.BUFFERED, attempts=attempts,
+                        durableq_region=durableq_region,
+                        resources=resources, args_spilled=args_spilled,
+                        arena=arena, pinned=arena is None)
     return call

@@ -36,7 +36,7 @@ from ..cluster.topology import (
     build_topology,
     size_topology_for_utilization,
 )
-from ..core.call import CallIdAllocator, CallOutcome, FunctionCall
+from ..core.call import CallArena, CallIdAllocator, CallOutcome, FunctionCall
 from ..core.config import ConfigStore
 from ..core.congestion import CongestionController
 from ..core.durableq import DurableQ
@@ -129,6 +129,9 @@ class RemoteRegionHandle:
             self.scheduler_region, self.region, KIND_DQ_NACK,
             (self.region, self.dq_index, call.call_id, retry_delay_s),
             self.latency_s)
+        # The local rehydrated copy is abandoned here — the owning
+        # region re-enqueues *its* record on NACK; recycle the copy.
+        call.arena.release(call.slot, call.gen)
 
     def extend_lease(self, call_id: int) -> None:
         self.platform.send(
@@ -181,6 +184,10 @@ class ShardPlatform:
         self.metrics = MetricsRegistry()
         self.traces = TraceLog()
         self._call_id_allocator = CallIdAllocator()
+        #: Per-shard call arena — every shard stores only the calls it
+        #: materializes (owned arrivals + rehydrated remote leases), so
+        #: shard memory scales with owned in-flight calls.
+        self.arena = CallArena()
         self.namespaces = NamespaceRegistry()
         self.config = ConfigStore(sim, params.config_propagation_s)
         self.kvstore = DistributedKVStore(sim)
@@ -443,8 +450,8 @@ class ShardPlatform:
         call = FunctionCall(spec=spec, submit_time=now,
                             start_time=now + start_delay_s,
                             region_submitted=region,
-                            call_id=call_id)
-        call.resources = resources
+                            call_id=call_id, resources=resources,
+                            arena=self.arena, pinned=False)
         self._calls_received.add(now)
         self.submitted_count += 1
         self.frontends[region].submit(call)
@@ -500,10 +507,15 @@ class ShardPlatform:
             scheduler = self.schedulers[sched_region]
             for data in calls:
                 scheduler.accept_remote(
-                    rehydrate_call(data, self._specs), handle)
+                    rehydrate_call(data, self._specs, self.arena), handle)
         elif kind == KIND_DQ_ACK:
             dq_region, dq_index, call_id = payload
-            self.durableqs_by_region[dq_region][dq_index].ack_by_id(call_id)
+            acked = self.durableqs_by_region[dq_region][dq_index] \
+                .ack_by_id(call_id)
+            if acked is not None:
+                # The owner-side record is garbage once the executing
+                # shard's ACK lands: recycle its slot.
+                acked.arena.release(acked.slot, acked.gen)
         elif kind == KIND_DQ_NACK:
             dq_region, dq_index, call_id, retry_delay = payload
             self.durableqs_by_region[dq_region][dq_index].nack_by_id(
@@ -594,12 +606,16 @@ class ShardPlatform:
         if self.params.collect_traces:
             self.traces.add_call(
                 call, outcome.value if outcome else "unknown")
+        # Terminalized on this shard: recycle the slot (the trace log
+        # snapshotted above; nothing touches the view past this line).
+        call.arena.release(call.slot, call.gen)
 
     def _on_throttle(self, call: FunctionCall) -> None:
         self.throttled_count += 1
         self._calls_throttled.add(self.sim.now)
         if self.params.collect_traces:
             self.traces.add_call(call, "throttled")
+        call.arena.release(call.slot, call.gen)
 
     # ------------------------------------------------------------------
     # Periodic samplers (owned regions)

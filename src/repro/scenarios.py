@@ -80,7 +80,8 @@ def build_dayrun(seed: int = 7, total_rate: float = 8.0,
                  overrides: Optional[dict] = None,
                  profiler: Optional[object] = None,
                  queue_backend: Optional[str] = None,
-                 sanitize: bool = False) -> DayRun:
+                 sanitize: bool = False,
+                 gc_mode: Optional[str] = None) -> DayRun:
     """Build and run the shared full-day simulation.
 
     The default invocation reproduces the paper-shaped workload used by
@@ -101,9 +102,14 @@ def build_dayrun(seed: int = 7, total_rate: float = 8.0,
     ``sanitize`` runs the whole scenario under the
     :mod:`repro.sim.simsan` runtime sanitizer; behavior (and the trace
     digest) is bit-identical, but determinism violations raise.
+
+    ``gc_mode="freeze"`` freezes the post-setup heap and disables the
+    cyclic collector inside the kernel's run loops (see
+    :class:`~repro.sim.kernel.Simulator`); allocation behavior is
+    GC-invariant, so the trace digest is bit-identical either way.
     """
     sim = Simulator(seed=seed, queue_backend=queue_backend,
-                    sanitize=sanitize)
+                    sanitize=sanitize, gc_mode=gc_mode)
     if profiler is not None:
         sim.profiler = profiler
     diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=peak_to_trough)
@@ -145,9 +151,10 @@ def build_dayrun(seed: int = 7, total_rate: float = 8.0,
         platform.register_spiky_client(
             platform.spec(spiky_function).team)
 
-    ArrivalGenerator(sim, population,
-                     lambda spec, delay: platform.submit(
-                         spec.name, start_delay_s=delay),
+    # The arrival stream materializes batches directly into unpinned
+    # arena slots — submit_stream is draw-for-draw identical to
+    # submit(spec.name, ...) but recycles each slot on terminalization.
+    ArrivalGenerator(sim, population, platform.submit_stream,
                      tick_s=20.0, stop_at=horizon_s)
     sim.run_until(horizon_s)
     return DayRun(sim=sim, platform=platform, population=population,
@@ -163,7 +170,8 @@ def build_fleetrun(n_workers: int, seed: int = 7,
                    queue_backend: Optional[str] = None,
                    overrides: Optional[dict] = None,
                    run_sim: bool = True,
-                   sanitize: bool = False) -> DayRun:
+                   sanitize: bool = False,
+                   gc_mode: Optional[str] = None) -> DayRun:
     """Build and run a dayrun slice over an *explicit-size* worker fleet.
 
     The scale-ladder companion to :func:`build_dayrun`: the workload
@@ -182,7 +190,7 @@ def build_fleetrun(n_workers: int, seed: int = 7,
         raise ValueError(
             f"n_workers={n_workers} must be >= n_regions={n_regions}")
     sim = Simulator(seed=seed, queue_backend=queue_backend,
-                    sanitize=sanitize)
+                    sanitize=sanitize, gc_mode=gc_mode)
     diurnal = DiurnalRate(base_rate=1.0, peak_to_trough=4.3)
     population = build_population(
         n_functions=n_functions, total_rate=total_rate,
@@ -205,9 +213,7 @@ def build_fleetrun(n_workers: int, seed: int = 7,
     for spec in population.specs:
         platform.register_function(spec)
 
-    ArrivalGenerator(sim, population,
-                     lambda spec, delay: platform.submit(
-                         spec.name, start_delay_s=delay),
+    ArrivalGenerator(sim, population, platform.submit_stream,
                      tick_s=20.0, stop_at=horizon_s)
     if run_sim:
         sim.run_until(horizon_s)

@@ -58,39 +58,32 @@ class CallTrace:
         return self.region_submitted != self.region_executed
 
 
-def trace_from_call(call: Any, outcome_name: str) -> CallTrace:
-    """Build a :class:`CallTrace` from a finished call object.
+def snapshot_call(call: Any, outcome_name: str) -> Tuple[Any, ...]:
+    """The :class:`CallTrace` constructor tuple for a finished call.
 
     Duck-typed over :class:`repro.core.call.FunctionCall` (this module
     must not import ``repro.core``): any object with the call lifecycle
-    attributes works.  Centralizing the field mapping here lets
-    :meth:`TraceLog.add_call` defer it off the per-completion hot path —
-    the call object is stored raw and formatted only when the log is
-    actually read (digest, CSV, analysis iteration).
+    attributes works.  Arena-backed calls provide a columnar fast path
+    (``trace_snapshot``) that :meth:`TraceLog.add_call` prefers; this
+    generic reader is the fallback for other call-like objects.
     """
     resources = call.resources or (0.0, 0.0, 0.0)
     spec = call.spec
-    return CallTrace(
-        call_id=call.call_id,
-        function=call.function_name,
-        trigger=spec.trigger.value,
-        criticality=call.criticality,
-        quota_type=spec.quota_type.value,
-        submit_time=call.submit_time,
-        start_time_requested=call.start_time,
-        dispatch_time=(call.dispatch_time
-                       if call.dispatch_time is not None else -1.0),
-        finish_time=(call.finish_time
-                     if call.finish_time is not None else -1.0),
-        region_submitted=call.region_submitted,
-        region_executed=call.scheduler_region or "",
-        worker=call.worker_name or "",
-        outcome=outcome_name,
-        cpu_minstr=resources[0],
-        memory_mb=resources[1],
-        exec_time_s=resources[2],
-        attempts=call.attempts + 1,
-    )
+    dispatch = call.dispatch_time
+    finish = call.finish_time
+    return (call.call_id, call.function_name, spec.trigger.value,
+            call.criticality, spec.quota_type.value, call.submit_time,
+            call.start_time,
+            -1.0 if dispatch is None else dispatch,
+            -1.0 if finish is None else finish,
+            call.region_submitted, call.scheduler_region or "",
+            call.worker_name or "", outcome_name,
+            resources[0], resources[1], resources[2], call.attempts + 1)
+
+
+def trace_from_call(call: Any, outcome_name: str) -> CallTrace:
+    """Build a :class:`CallTrace` from a finished call object."""
+    return CallTrace(*snapshot_call(call, outcome_name))
 
 
 class TraceLog:
@@ -98,17 +91,19 @@ class TraceLog:
 
     The write path is two-speed: :meth:`add` appends a pre-built
     :class:`CallTrace`, while :meth:`add_call` (the platform's per-call
-    path) appends the raw ``(call, outcome)`` pair and defers the
-    17-field dataclass construction until the log is first *read*.
-    Finalized calls never mutate afterwards, so late formatting yields
-    byte-identical traces — ``digest()`` is the regression test for
-    that.
+    path) snapshots the call's fields into a plain constructor tuple
+    and defers the 17-field dataclass construction until the log is
+    first *read*.  Snapshotting at add time (rather than retaining the
+    call object) is what lets the platform release the call's arena
+    slot immediately after — the log never holds a view across its
+    release point (simlint SL016).  ``digest()`` is the regression test
+    that the deferred construction yields byte-identical traces.
     """
 
     def __init__(self) -> None:
         self._traces: List[CallTrace] = []
-        #: Deferred (call, outcome_name) pairs not yet formatted.
-        self._pending: List[Tuple[Any, str]] = []
+        #: Deferred CallTrace constructor tuples not yet built.
+        self._pending: List[Tuple[Any, ...]] = []
 
     def __len__(self) -> int:
         return len(self._traces) + len(self._pending)
@@ -123,13 +118,14 @@ class TraceLog:
         self._traces.append(trace)
 
     def add_call(self, call: Any, outcome_name: str) -> None:
-        """Record a finished call without formatting it yet."""
-        self._pending.append((call, outcome_name))
+        """Record a finished call, snapshotting its fields immediately."""
+        snap = getattr(call, "trace_snapshot", None)
+        self._pending.append(snap(outcome_name) if snap is not None
+                             else snapshot_call(call, outcome_name))
 
     def _materialize(self) -> None:
         if self._pending:
-            self._traces.extend(
-                trace_from_call(c, o) for c, o in self._pending)
+            self._traces.extend(CallTrace(*t) for t in self._pending)
             self._pending.clear()
 
     def completed(self) -> List[CallTrace]:

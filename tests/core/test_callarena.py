@@ -1,0 +1,190 @@
+"""Tests for the call-record arena: recycling, generations, view parity."""
+
+import math
+
+import pytest
+
+from repro.core.call import (
+    CallArena,
+    CallIdAllocator,
+    CallOutcome,
+    CallState,
+    FunctionCall,
+    StaleCallError,
+)
+from repro.workloads import Criticality, FunctionSpec
+
+_ids = CallIdAllocator()
+
+
+def make_call(arena, name="f", submit=0.0, pinned=False, **kwargs):
+    spec = FunctionSpec(name=name, criticality=Criticality.NORMAL,
+                        deadline_s=60.0)
+    kwargs.setdefault("call_id", _ids.allocate())
+    return FunctionCall(spec=spec, submit_time=submit, start_time=submit,
+                        region_submitted="r0", arena=arena, pinned=pinned,
+                        **kwargs)
+
+
+class TestSlotRecycling:
+    def test_fresh_rows_are_sequential(self):
+        arena = CallArena()
+        calls = [make_call(arena) for _ in range(5)]
+        assert [c.slot for c in calls] == [0, 1, 2, 3, 4]
+        assert len(arena) == 5
+        assert arena.live_count() == 5
+
+    def test_freed_slots_reused_in_release_order(self):
+        arena = CallArena()
+        calls = [make_call(arena) for _ in range(6)]
+        # Release out of slot order: reuse must follow *release* order
+        # (FIFO freelist), not slot order — that is what makes slot
+        # assignment a pure function of the event order.
+        for i in (3, 1, 4):
+            arena.release(calls[i].slot, calls[i].gen)
+        replacements = [make_call(arena) for _ in range(4)]
+        assert [c.slot for c in replacements] == [3, 1, 4, 6]
+        assert arena.released_total == 3
+        assert arena.allocated_total == 10
+
+    def test_recycled_slot_resets_every_column(self):
+        arena = CallArena()
+        old = make_call(arena, name="old", submit=5.0)
+        old.dispatch_time = 6.0
+        old.finish_time = 7.0
+        old.worker_name = "w-1"
+        old.scheduler_region = "r9"
+        old.outcome = CallOutcome.OK
+        old.args_spilled = True
+        slot = old.slot
+        arena.release(slot, old.gen)
+        fresh = make_call(arena, name="new", submit=10.0)
+        assert fresh.slot == slot
+        assert fresh.dispatch_time is None
+        assert fresh.finish_time is None
+        assert fresh.worker_name is None
+        assert fresh.scheduler_region is None
+        assert fresh.outcome is None
+        assert fresh.args_spilled is False
+        assert fresh.submit_time == 10.0
+
+    def test_pinned_rows_never_recycled(self):
+        arena = CallArena()
+        call = make_call(arena, pinned=True)
+        assert arena.release(call.slot, call.gen) is False
+        assert arena.free_count() == 0
+        # The view stays valid after the no-op release.
+        assert call.state is CallState.SUBMITTED
+
+
+class TestGenerationGuard:
+    def test_stale_view_read_raises(self):
+        arena = CallArena()
+        call = make_call(arena)
+        arena.release(call.slot, call.gen)
+        with pytest.raises(StaleCallError):
+            call.submit_time
+        with pytest.raises(StaleCallError):
+            call.state
+        with pytest.raises(StaleCallError):
+            call.worker_name
+
+    def test_stale_view_write_raises(self):
+        arena = CallArena()
+        call = make_call(arena)
+        arena.release(call.slot, call.gen)
+        with pytest.raises(StaleCallError):
+            call.dispatch_time = 1.0
+        with pytest.raises(StaleCallError):
+            call.state = CallState.RUNNING
+
+    def test_double_release_raises(self):
+        arena = CallArena()
+        call = make_call(arena)
+        arena.release(call.slot, call.gen)
+        with pytest.raises(StaleCallError):
+            arena.release(call.slot, call.gen)
+
+    def test_new_occupant_unaffected_by_stale_view(self):
+        arena = CallArena()
+        old = make_call(arena, submit=1.0)
+        slot = old.slot
+        arena.release(slot, old.gen)
+        fresh = make_call(arena, submit=2.0)
+        assert fresh.slot == slot
+        with pytest.raises(StaleCallError):
+            old.submit_time
+        assert fresh.submit_time == 2.0
+
+
+class TestViewColumnParity:
+    def test_lifecycle_fields_round_trip_through_columns(self):
+        """Execute / complete / interrupt / recover, view vs raw columns."""
+        arena = CallArena()
+        call = make_call(arena, submit=3.0)
+        i = call.slot
+
+        # dispatch (execute path)
+        call.state = CallState.RUNNING
+        call.dispatch_time = 4.25
+        call.worker_name = "w-7"
+        call.scheduler_region = "r1"
+        assert arena.state[i] == CallState.RUNNING.code
+        assert arena.dispatch_time[i] == 4.25
+        assert arena.worker_name[i] == "w-7"
+        assert arena.regions[arena.scheduler_region[i]] == "r1"
+
+        # interrupt (worker failure): back to QUEUED with a retry
+        call.state = CallState.QUEUED
+        call.attempts += 1
+        call.worker_name = None
+        assert arena.attempts[i] == 1
+        assert arena.worker_name[i] is None
+        assert call.attempts == 1
+
+        # recover + complete
+        call.state = CallState.RUNNING
+        call.worker_name = "w-9"
+        call.state = CallState.COMPLETED
+        call.outcome = CallOutcome.OK
+        call.finish_time = 9.5
+        assert arena.state[i] == CallState.COMPLETED.code
+        assert arena.outcome[i] == CallOutcome.OK.code
+        assert arena.finish_time[i] == 9.5
+        # Enum round-trip preserves identity (is-comparisons everywhere).
+        assert call.state is CallState.COMPLETED
+        assert call.outcome is CallOutcome.OK
+
+    def test_unset_optionals_are_nan_backed(self):
+        arena = CallArena()
+        call = make_call(arena)
+        assert math.isnan(arena.dispatch_time[call.slot])
+        assert call.dispatch_time is None
+
+    def test_trace_snapshot_matches_view_fields(self):
+        arena = CallArena()
+        call = make_call(arena, name="g", submit=2.0)
+        call.dispatch_time = 3.0
+        call.finish_time = 4.0
+        call.worker_name = "w-0"
+        call.scheduler_region = "r2"
+        snap = call.trace_snapshot("ok")
+        assert snap[0] == call.call_id
+        assert "g" in snap
+        assert 2.0 in snap and 3.0 in snap and 4.0 in snap
+        assert "w-0" in snap and "r2" in snap
+
+
+class TestRunParity:
+    def test_two_quick_runs_one_process_bit_identical(self):
+        """Recycling must not leak state between runs in one process."""
+        from repro.scenarios import build_dayrun
+        kwargs = dict(horizon_s=200.0, n_functions=12, n_regions=3,
+                      total_rate=4.0)
+        first = build_dayrun(**kwargs)
+        second = build_dayrun(**kwargs)
+        d1 = first.platform.traces.digest()
+        d2 = second.platform.traces.digest()
+        assert d1 == d2
+        # And the runs actually exercised the arena recycler.
+        assert first.platform.arena.released_total > 0

@@ -1,0 +1,32 @@
+"""True positives for SL016: call views retained past terminalization."""
+
+from repro.core.call import CallState
+
+
+class CompletionLog:
+    def __init__(self):
+        self.finished = []
+        self.by_id = {}
+        self.last_call = None
+
+    def on_done_keeps_in_list(self, call):
+        call.state = CallState.COMPLETED
+        self.finished.append(call)          # escapes past the release
+
+    def on_fail_keeps_in_dict(self, call):
+        call.state = CallState.FAILED
+        self.by_id[call.call_id] = call     # escapes past the release
+
+    def on_expire_keeps_attr(self, call):
+        call.state = CallState.EXPIRED
+        self.last_call = call               # escapes past the release
+
+
+def throttle_and_stash(call, dead_letter):
+    call.state = CallState.THROTTLED
+    dead_letter.add(call)                   # escapes past the release
+
+
+def finalize_and_stash(call, outcome, state, now, graveyard):
+    call.terminalize(outcome, state, now)   # fused terminal transition
+    graveyard.append(call)                  # escapes past the release

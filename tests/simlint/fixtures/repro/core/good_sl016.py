@@ -1,0 +1,34 @@
+"""True negatives for SL016: terminal handlers that read but don't keep."""
+
+from repro.core.call import CallState, CallOutcome
+
+
+class CompletionLog:
+    def __init__(self):
+        self.finished = []
+        self.latencies = []
+
+    def on_done_snapshots(self, call, traces):
+        call.state = CallState.COMPLETED
+        # Reading fields (and snapshotting) before the release is the
+        # supported idiom — only the *view* must not outlive the handler.
+        traces.add_call(call, "ok")
+        self.latencies.append(call.finish_time - call.submit_time)
+
+    def stash_before_terminalizing(self, call):
+        # Escape *before* the terminal transition: the call is still
+        # live (e.g. retry bookkeeping), not a retention bug.
+        self.finished.append(call)
+        call.state = CallState.RUNNING
+
+    def on_done_notifies(self, call, listener):
+        call.state = CallState.FAILED
+        # A plain call argument is fine: listeners run synchronously,
+        # before the handler returns and the slot is released.
+        listener(call, CallOutcome.ERROR)
+
+    def finalize_and_snapshot(self, call, outcome, state, now, traces):
+        # The fused form counts as a terminal transition too; reads and
+        # call-arg passing after it are still the supported idiom.
+        call.terminalize(outcome, state, now)
+        traces.add_call(call, "ok")
